@@ -1,0 +1,38 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark runs its experiment exactly once under pytest-benchmark
+(``rounds=1``): the interesting output is the *simulated* comparison the
+paper plots, not the harness's wall time.  Results are printed in
+paper-style tables and also appended to ``results/`` as CSV for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def run_bench(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def runner(fn):
+        holder = {}
+
+        def wrapper():
+            holder["value"] = fn()
+
+        benchmark.pedantic(wrapper, rounds=1, iterations=1)
+        return holder["value"]
+
+    return runner
+
+
+@pytest.fixture
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,49 @@
+"""Ablations of the prescient router's two phases (DESIGN.md §5).
+
+* ``hermes-noreorder`` — step 1 routes in arrival order (no greedy
+  permutation): ping-pong chains come back.
+* ``hermes-nobalance`` — steps 2-3 disabled: hot batches pile onto the
+  majority-owner nodes like LEAP.
+
+Full Hermes must beat (or at worst match) both ablations, and each
+ablation isolates a measurable effect: no-reorder raises remote reads
+per commit, no-balance raises the load imbalance.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import google_comparison
+from repro.bench.reporting import format_table
+
+STRATEGIES = ["hermes-noreorder", "hermes-nobalance", "hermes"]
+
+
+def test_ablation_reorder_and_balance(run_bench):
+    results = run_bench(
+        lambda: google_comparison(STRATEGIES, duration_s=4.0)
+    )
+
+    print()
+    print(format_table(results, "Ablation — prescient phases"))
+    by_name = {r.strategy: r for r in results}
+
+    full = by_name["hermes"]
+    noreorder = by_name["hermes-noreorder"]
+    nobalance = by_name["hermes-nobalance"]
+
+    # Full Hermes is the best variant (small tolerance for noise).
+    assert full.throughput_per_s >= noreorder.throughput_per_s * 0.97
+    assert full.throughput_per_s >= nobalance.throughput_per_s * 0.97
+
+    # Reordering reduces remote reads per committed transaction.
+    def remote_per_commit(result):
+        return result.remote_reads / max(1, result.commits)
+
+    print(f"  remote reads/commit: full={remote_per_commit(full):.2f} "
+          f"noreorder={remote_per_commit(noreorder):.2f}")
+    assert remote_per_commit(full) <= remote_per_commit(noreorder) * 1.1
+
+    # Balancing lifts CPU utilization (work spreads onto cold nodes).
+    print(f"  cpu: full={full.cpu_utilization:.2%} "
+          f"nobalance={nobalance.cpu_utilization:.2%}")
+    assert full.cpu_utilization >= nobalance.cpu_utilization * 0.9

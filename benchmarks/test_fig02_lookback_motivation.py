@@ -1,0 +1,39 @@
+"""Figure 2: the motivating experiment — look-back re-partitioning barely
+helps under the Google workload.
+
+Paper's claim: Calvin with static range partitions, Calvin+Clay, and
+LEAP all track each other within a modest band; Clay does **not**
+significantly beat naive range partitioning (episodic events defeat the
+look-back window), while LEAP improves somewhat via temporal locality.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import google_comparison
+from repro.bench.reporting import format_series, format_table, write_series_csv
+
+
+def test_fig02_lookback_motivation(run_bench, results_dir):
+    results = run_bench(
+        lambda: google_comparison(["calvin", "clay", "leap"])
+    )
+
+    print()
+    print(format_table(results, "Figure 2 — Calvin / Clay / LEAP under the "
+                                "Google workload"))
+    print(format_series(results, "throughput over time (txns per window)"))
+    write_series_csv(f"{results_dir}/fig02_series.csv", results)
+
+    by_name = {r.strategy: r for r in results}
+    calvin = by_name["calvin"].throughput_per_s
+    clay = by_name["clay"].throughput_per_s
+    leap = by_name["leap"].throughput_per_s
+    assert calvin > 0 and clay > 0 and leap > 0
+    # Paper shape: Clay does not significantly outperform range partitioning.
+    assert clay < calvin * 1.3, (
+        f"Clay ({clay:.0f}/s) should not dramatically beat Calvin "
+        f"({calvin:.0f}/s) under episodic workloads"
+    )
+    # Paper shape: LEAP beats both look-back options.
+    assert leap > calvin, f"LEAP {leap:.0f}/s vs Calvin {calvin:.0f}/s"
+    assert leap > clay

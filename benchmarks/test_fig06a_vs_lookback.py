@@ -1,0 +1,43 @@
+"""Figure 6(a): Hermes vs. look-back approaches under the Google workload.
+
+Systems: Calvin (static ranges), Clay (online look-back), Schism 1 and
+Schism 2 (offline "optimal" partitionings trained on two different
+periods), and Hermes.
+
+Paper shape: Clay ≈ Calvin (episodic events defeat look-back); each
+Schism variant helps near its training period but not across the whole
+run; Hermes beats all of them.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import google_comparison
+from repro.bench.reporting import format_series, format_table, write_series_csv
+
+
+def test_fig06a_vs_lookback(run_bench, results_dir):
+    results = run_bench(
+        lambda: google_comparison(
+            ["calvin", "clay", "schism1", "schism2", "hermes"],
+            schism_periods={
+                "schism1": (0.55, 0.95),   # trained on the late period
+                "schism2": (0.05, 0.45),   # trained on the early period
+            },
+        )
+    )
+
+    print()
+    print(format_table(results, "Figure 6(a) — Hermes vs. look-back"))
+    print(format_series(results, "throughput over time (txns per window)"))
+    write_series_csv(f"{results_dir}/fig06a_series.csv", results)
+
+    by_name = {r.strategy: r for r in results}
+    hermes = by_name["hermes"].throughput_per_s
+    for name, result in by_name.items():
+        if name != "hermes":
+            assert hermes > result.throughput_per_s, (
+                f"hermes ({hermes:.0f}/s) must beat {name} "
+                f"({result.throughput_per_s:.0f}/s)"
+            )
+    # Clay must not dramatically beat static ranges (paper's core claim).
+    assert by_name["clay"].throughput_per_s < by_name["calvin"].throughput_per_s * 1.3

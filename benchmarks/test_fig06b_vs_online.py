@@ -1,0 +1,45 @@
+"""Figure 6(b): Hermes vs. on-line approaches under the Google workload.
+
+Systems: Calvin, G-Store+ (look-present grouping), T-Part (routing-only
+with forward pushing), LEAP (look-present fusion), Hermes.
+
+Paper shape (Section 5.2.3): G-Store ≈ Calvin (+2 %), LEAP ≈ Calvin
+(+50 %), T-Part between them, Hermes on top — 29 %–137 % over the
+baselines overall.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import google_comparison
+from repro.bench.reporting import format_series, format_table, write_series_csv
+
+
+def test_fig06b_vs_online(run_bench, results_dir):
+    results = run_bench(
+        lambda: google_comparison(
+            ["calvin", "gstore", "tpart", "leap", "hermes"]
+        )
+    )
+
+    print()
+    print(format_table(results, "Figure 6(b) — Hermes vs. on-line"))
+    print(format_series(results, "throughput over time (txns per window)"))
+    write_series_csv(f"{results_dir}/fig06b_series.csv", results)
+
+    by_name = {r.strategy: r.throughput_per_s for r in results}
+    calvin = by_name["calvin"]
+    print("\nimprovement over Calvin:")
+    for name, tput in by_name.items():
+        print(f"  {name:8s} {100 * (tput / calvin - 1):+6.1f}%")
+
+    # Paper orderings.
+    assert by_name["hermes"] > by_name["leap"]
+    assert by_name["hermes"] > by_name["tpart"]
+    assert by_name["leap"] > calvin
+    assert by_name["tpart"] > calvin
+    # G-Store is within a small band of Calvin (paper: +2 %).
+    assert abs(by_name["gstore"] / calvin - 1) < 0.35
+    # Headline: the paper reports 29 %-137 % over the baselines at full
+    # scale; the downscaled simulator must show at least a quarter gain
+    # over Calvin once the offered load saturates it.
+    assert by_name["hermes"] > calvin * 1.25

@@ -1,0 +1,45 @@
+"""Figure 7: the per-transaction latency breakdown.
+
+The paper instruments each transaction's stages — scheduling, waiting
+for locks, accessing local storage, waiting for remote data, other —
+and shows that Hermes cuts both lock-wait and remote-data-wait relative
+to every baseline, while its scheduling stage (the prescient routing) is
+a small single-digit share of total latency.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import google_comparison
+from repro.bench.reporting import format_latency_breakdown, format_table
+
+
+def test_fig07_latency_breakdown(run_bench):
+    results = run_bench(
+        lambda: google_comparison(
+            ["calvin", "clay", "gstore", "tpart", "leap", "hermes"],
+            duration_s=4.0,
+        )
+    )
+
+    print()
+    print(format_table(results, "Figure 7 companion summary"))
+    print()
+    print(format_latency_breakdown(results))
+
+    by_name = {r.strategy: r for r in results}
+    hermes = by_name["hermes"].latency_breakdown_us
+    calvin = by_name["calvin"].latency_breakdown_us
+
+    # Hermes reduces lock wait and remote wait vs Calvin (paper: -120 %
+    # locks, -30 % remote-data in their measurements).
+    assert hermes["lock_wait"] < calvin["lock_wait"]
+    assert hermes["remote_wait"] < calvin["remote_wait"]
+
+    # Scheduling (prescient routing) stays a minority share of total
+    # latency (paper: ~2 ms of ~50 ms ≈ 4 %; our downscale runs deeper
+    # into overload where queued batches inflate the share, so the bound
+    # is looser but still "far from dominant").
+    total = sum(hermes.values())
+    assert hermes["scheduling"] < 0.2 * total, (
+        f"scheduling {hermes['scheduling']:.0f}us of {total:.0f}us"
+    )

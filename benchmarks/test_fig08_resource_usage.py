@@ -1,0 +1,41 @@
+"""Figure 8: CPU usage and network usage per transaction.
+
+Paper shape: Hermes utilizes *more* CPU than the baselines (it keeps
+machines busy by balancing load) while its network usage per transaction
+is comparable to — and often lower than — the others (it reduces the
+number of distributed transactions).  Clay's network usage spikes when
+its dedicated migrations run.  T-Part burns slightly more CPU than LEAP.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import google_comparison
+from repro.bench.reporting import format_table
+
+
+def test_fig08_resource_usage(run_bench):
+    results = run_bench(
+        lambda: google_comparison(
+            ["calvin", "clay", "gstore", "tpart", "leap", "hermes"],
+            duration_s=4.0,
+        )
+    )
+
+    print()
+    print(format_table(results, "Figure 8 — CPU % and network bytes/txn"))
+    by_name = {r.strategy: r for r in results}
+
+    hermes = by_name["hermes"]
+    others = [r for r in results if r.strategy != "hermes"]
+
+    # Hermes achieves the highest CPU utilization (better load balance).
+    assert hermes.cpu_utilization >= max(o.cpu_utilization for o in others) * 0.95
+
+    # Hermes' per-transaction network usage is within the baseline band
+    # (it migrates data, but kills repeated remote reads and writebacks).
+    baseline_band_hi = max(o.net_bytes_per_commit for o in others)
+    assert hermes.net_bytes_per_commit <= baseline_band_hi * 1.2
+
+    # T-Part utilizes more CPU than LEAP-like un-balanced strategies is a
+    # soft paper observation; assert it does not *collapse* below Calvin.
+    assert by_name["tpart"].cpu_utilization >= by_name["calvin"].cpu_utilization * 0.8

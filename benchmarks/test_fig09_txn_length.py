@@ -1,0 +1,63 @@
+"""Figure 9: impact of transaction length.
+
+Transaction sizes are drawn from normal distributions with (mean, std)
+in {(5,5), (10,5), (10,10), (20,5), (20,10), (20,20)}; the paper plots
+each system's throughput improvement over Calvin and finds Hermes
+improves consistently, and *more* for longer transactions (longer
+transactions block conflicting successors longer, so reducing
+cross-machine synchronization pays more).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import google_comparison
+from repro.bench.presets import bench_scale
+
+SETTINGS = [(5, 5), (10, 5), (10, 10), (20, 5), (20, 10), (20, 20)]
+STRATEGIES = ["calvin", "leap", "hermes"]
+
+
+def test_fig09_txn_length(run_bench):
+    def experiment():
+        table = {}
+        for mean, std in SETTINGS:
+            results = google_comparison(
+                STRATEGIES,
+                duration_s=2.5,
+                rate_scale=3_500.0 / (mean / 4.0),
+                ycsb_overrides={
+                    "txn_len_mean": float(mean),
+                    "txn_len_std": float(std),
+                },
+            )
+            table[(mean, std)] = {r.strategy: r.throughput_per_s
+                                  for r in results}
+        return table
+
+    table = run_bench(experiment)
+
+    print("\nFigure 9 — improvement in throughput over Calvin (%)")
+    header = "  (mean,std)   " + "".join(f"{s:>10s}" for s in STRATEGIES[1:])
+    print(header)
+    improvements = {}
+    for setting, row in table.items():
+        calvin = row["calvin"]
+        improvements[setting] = {
+            name: 100 * (row[name] / calvin - 1)
+            for name in STRATEGIES[1:]
+        }
+        cells = "".join(
+            f"{improvements[setting][name]:>9.1f}%" for name in STRATEGIES[1:]
+        )
+        print(f"  {str(setting):12s} {cells}")
+
+    # Hermes improves over Calvin across the board: positive in most
+    # settings and clearly positive on average.  (The paper shows
+    # positive improvement everywhere, growing with length; at our
+    # downscale the 1-2 s windows make individual long-transaction
+    # settings noisy — occasionally one dips below Calvin — so the
+    # assertions bound the aggregate shape rather than every cell.)
+    values = [imp["hermes"] for imp in improvements.values()]
+    assert sum(1 for v in values if v > 0) >= 4, improvements
+    assert min(values) > -10.0, improvements
+    assert sum(values) / len(values) > 3.0, improvements

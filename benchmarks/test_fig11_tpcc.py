@@ -1,0 +1,54 @@
+"""Figure 11: TPC-C with increasing hot-spot concentration.
+
+Paper shape: on the Normal workload all systems are close (warehouse
+partitioning is already good; Hermes pays a small batching overhead).
+As 50 %/80 %/90 % of requests concentrate on the first node's
+warehouses, Calvin/G-Store degrade hard while Hermes and Clay keep
+throughput up by migrating hot warehouses off the first node — with Clay
+competitive here because the hot-spot pattern is *static*, exactly what
+a look-back planner can exploit.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import tpcc_comparison
+from repro.bench.reporting import format_table
+
+CONCENTRATIONS = [0.0, 0.5, 0.8, 0.9]
+STRATEGIES = ["calvin", "clay", "tpart", "hermes"]
+
+
+def test_fig11_tpcc_hotspots(run_bench):
+    def experiment():
+        table = {}
+        for hot in CONCENTRATIONS:
+            table[hot] = tpcc_comparison(STRATEGIES, hot_fraction=hot)
+        return table
+
+    table = run_bench(experiment)
+
+    print()
+    for hot, results in table.items():
+        label = "Normal" if hot == 0 else f"{int(hot * 100)}%"
+        print(format_table(results, f"Figure 11 — TPC-C, hot-spot {label}"))
+        print()
+
+    tput = {
+        hot: {r.strategy: r.throughput_per_s for r in results}
+        for hot, results in table.items()
+    }
+
+    # Normal: Hermes is comparable (within ~25 %) to Calvin.
+    assert tput[0.0]["hermes"] > tput[0.0]["calvin"] * 0.75
+
+    # Under 90 % concentration, re-partitioning systems clearly beat the
+    # static ones.
+    assert tput[0.9]["hermes"] > tput[0.9]["calvin"] * 1.2
+    # Deviation from the paper, documented in EXPERIMENTS.md: our Clay
+    # moves whole warehouses through chunk transactions whose lock
+    # footprint roughly cancels the relief at bench timescales, so Clay
+    # only tracks Calvin here instead of beating it.
+    assert tput[0.9]["clay"] > tput[0.9]["calvin"] * 0.85
+
+    # Concentration hurts Calvin monotonically (sanity of the workload).
+    assert tput[0.9]["calvin"] < tput[0.0]["calvin"]

@@ -1,0 +1,75 @@
+"""Figure 13: robustness to the initial data partitioning.
+
+Three initial placements of the multi-tenant data: perfect (tenant
+blocks on their nodes), hash-scattered (creates distributed
+transactions), and skewed (43 % of data piled on node 0).
+
+Paper shape: everything is fine under perfect partitioning; LEAP and
+Hermes win under hash (they fuse co-accessed records back together);
+LEAP fails on skewed (records are already grouped — on one overloaded
+node — so its merging preserves the skew) while Clay and Hermes fix it.
+Hermes is the only system good across all three.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import multitenant_comparison
+from repro.bench.reporting import format_table
+from repro.workloads.multitenant import (
+    MultiTenantConfig,
+    hash_partitioner,
+    perfect_partitioner,
+    skewed_partitioner,
+)
+
+STRATEGIES = ["calvin", "clay", "leap", "hermes"]
+
+LAYOUTS = {
+    "perfect": perfect_partitioner,
+    "hash": hash_partitioner,
+    "skewed": skewed_partitioner,
+}
+
+
+def test_fig13_initial_partitioning(run_bench):
+    def experiment():
+        config = MultiTenantConfig(
+            num_nodes=4,
+            tenants_per_node=4,
+            records_per_tenant=2_500,
+            rotation_interval_us=2_500_000.0,
+        )
+        table = {}
+        for label, factory in LAYOUTS.items():
+            table[label] = multitenant_comparison(
+                STRATEGIES,
+                config=config,
+                partitioner_factory=factory,
+                duration_s=4.0,
+            )
+        return table
+
+    table = run_bench(experiment)
+
+    print()
+    for label, results in table.items():
+        print(format_table(results, f"Figure 13 — initial partitioning: {label}"))
+        print()
+
+    tput = {
+        label: {r.strategy: r.throughput_per_s for r in results}
+        for label, results in table.items()
+    }
+
+    # Hermes is consistently good: on every layout it is within 10% of the
+    # best system for that layout.
+    for label, row in tput.items():
+        best = max(row.values())
+        assert row["hermes"] >= best * 0.75, (label, row)
+
+    # Hash layout: fusion-capable systems beat Calvin.
+    assert tput["hash"]["hermes"] > tput["hash"]["calvin"]
+    assert tput["hash"]["leap"] > tput["hash"]["calvin"]
+
+    # Skewed layout: LEAP preserves the skew and trails Hermes.
+    assert tput["skewed"]["hermes"] > tput["skewed"]["leap"]

@@ -1,0 +1,79 @@
+"""Figure 14: throughput during a scale-out event.
+
+A 3-node cluster with a hot tenant (25 % of the load) on node 0 gains a
+4th node.  Variants:
+
+* ``squall``          — Calvin + chunked live migration of the hot range
+  (chunks lock hot records → throughput drops during migration);
+* ``clay+squall``     — Clay monitors first, then migrates (delayed);
+* ``hermes-nocold-5`` — fusion-only migration, 5 % fusion table;
+* ``hermes-nocold-10``— fusion-only, 10 % table (more hot data moves);
+* ``hermes-cold-5``   — fusion + cold chunks that *skip* fused records.
+
+Paper shape: every variant ends higher than it started (more hardware);
+Squall dips hard during migration; Hermes rises immediately on the
+topology announcement and never shows Squall's dip; cold migration adds
+late-stage benefit on top of fusion-only.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import scaleout_run
+from repro.bench.reporting import format_series, format_table, write_series_csv
+
+VARIANTS = [
+    "squall",
+    "clay+squall",
+    "hermes-nocold-5",
+    "hermes-nocold-10",
+    "hermes-cold-5",
+]
+
+
+def test_fig14_scaleout(run_bench, results_dir):
+    results = run_bench(lambda: [scaleout_run(v) for v in VARIANTS])
+
+    print()
+    print(format_table(results, "Figure 14 — scale-out from 3 to 4 nodes"))
+    print(format_series(results, "throughput over time (txns per window)"))
+    write_series_csv(f"{results_dir}/fig14_series.csv", results)
+
+    by_name = {r.strategy: r for r in results}
+    event_us = by_name["squall"].extras["event_us"]
+
+    def phase_mean(result, lo_us, hi_us):
+        series = result.throughput_series
+        values = [
+            v for t, v in zip(series.times, series.values) if lo_us <= t < hi_us
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    duration = by_name["squall"].duration_us
+
+    for name, result in by_name.items():
+        before = phase_mean(result, event_us / 2, event_us)
+        after = phase_mean(result, duration * 0.75, duration)
+        print(f"  {name:18s} before={before:8.0f}  late={after:8.0f}")
+        # Everyone ends up at least as good as before the event.
+        assert after > before * 0.9, (name, before, after)
+
+    # Squall's migration dip: its worst post-event window is deeper than
+    # Hermes-with-cold's worst post-event window.
+    def worst_after(result):
+        series = result.throughput_series
+        values = [
+            v
+            for t, v in zip(series.times, series.values)
+            if event_us < t < duration * 0.8
+        ]
+        return min(values) if values else 0.0
+
+    assert worst_after(by_name["hermes-cold-5"]) >= worst_after(
+        by_name["squall"]
+    ), "Hermes must not dip below Squall during migration"
+
+    # A larger fusion table migrates more hot data -> at least as good.
+    assert (
+        by_name["hermes-nocold-10"].throughput_per_s
+        >= by_name["hermes-nocold-5"].throughput_per_s * 0.9
+    )

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Compare routing strategies under a Google-style trace (paper §5.2).
+
+Generates a synthetic Google cluster-usage trace, drives a YCSB-style
+workload whose per-machine load follows it (including episodic spikes
+and a moving global hot spot), and compares Calvin, LEAP, and Hermes —
+a condensed version of the paper's Figure 6(b) experiment.
+
+Run:  python examples/google_trace_study.py         (about a minute)
+      python examples/google_trace_study.py --fast  (smaller, ~15 s)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.figures import google_comparison
+from repro.bench.reporting import format_series, format_table
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    duration_s = 2.5 if fast else 5.0
+
+    print("running calvin / leap / hermes under the Google workload ...")
+    results = google_comparison(
+        ["calvin", "leap", "hermes"], duration_s=duration_s
+    )
+
+    print()
+    print(format_table(results, "Google-trace YCSB comparison"))
+    print()
+    print(format_series(results, "throughput over time (txns per window)"))
+
+    by_name = {r.strategy: r.throughput_per_s for r in results}
+    calvin = by_name["calvin"]
+    print("\nimprovement over Calvin:")
+    for name, tput in by_name.items():
+        if name != "calvin":
+            print(f"  {name:8s} {100 * (tput / calvin - 1):+6.1f}%")
+    print(
+        "\nThe paper reports Hermes 29%-137% above the best baselines under"
+        "\nthis workload family; the ordering (hermes > leap > calvin) is the"
+        "\nreproduced claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

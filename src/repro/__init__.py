@@ -1,0 +1,82 @@
+"""Hermes reproduction: prescient data partitioning and migration for
+deterministic database systems (Lin et al., SIGMOD 2021).
+
+The library is a discrete-event simulation of a Calvin-style
+deterministic database cluster plus the full strategy zoo the paper
+evaluates.  A complete experiment is four lines::
+
+    from repro import Cluster, ClusterConfig, PrescientRouter, make_uniform_ranges
+
+    cluster = Cluster(ClusterConfig(num_nodes=4), PrescientRouter(),
+                      make_uniform_ranges(100_000, 4))
+    cluster.load_data(range(100_000))
+    # ... submit transactions (see repro.workloads) and run.
+
+Subpackages:
+
+* :mod:`repro.common`    — keys, transactions, configs, deterministic RNG
+* :mod:`repro.sim`       — the discrete-event kernel
+* :mod:`repro.storage`   — record stores, partitioners, logs, checkpoints
+* :mod:`repro.engine`    — sequencer, lock manager, executors, cluster
+* :mod:`repro.core`      — prescient routing, fusion table, provisioning
+* :mod:`repro.baselines` — Calvin, G-Store+, LEAP, T-Part, Clay, Squall,
+  Schism
+* :mod:`repro.workloads` — Google-trace YCSB, TPC-C, multi-tenant, drivers
+* :mod:`repro.bench`     — the experiment harness behind every figure
+"""
+
+from repro.common import (
+    Batch,
+    ClusterConfig,
+    CostModel,
+    DeterministicRNG,
+    EngineConfig,
+    FusionConfig,
+    RoutingConfig,
+    Transaction,
+    TxnKind,
+)
+from repro.core import (
+    ClusterView,
+    FusionTable,
+    HybridMigrationPlanner,
+    PrescientRouter,
+    Router,
+    RoutingPlan,
+    TxnPlan,
+)
+from repro.engine import Cluster, MigrationController, replay_command_log
+from repro.storage import (
+    HashPartitioner,
+    LookupPartitioner,
+    RangePartitioner,
+    make_uniform_ranges,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Batch",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterView",
+    "CostModel",
+    "DeterministicRNG",
+    "EngineConfig",
+    "FusionConfig",
+    "FusionTable",
+    "HashPartitioner",
+    "HybridMigrationPlanner",
+    "LookupPartitioner",
+    "MigrationController",
+    "PrescientRouter",
+    "RangePartitioner",
+    "Router",
+    "RoutingConfig",
+    "RoutingPlan",
+    "Transaction",
+    "TxnKind",
+    "TxnPlan",
+    "make_uniform_ranges",
+    "replay_command_log",
+]

@@ -1,0 +1,23 @@
+"""Observability tools: plan-quality probes and overlay statistics.
+
+These wrap a router or ownership overlay without changing behaviour, so
+experiments can *explain* throughput differences: how many remote reads
+a plan needed, how far transactions were reordered, how well loads were
+balanced, and how often the fusion table actually answered a lookup.
+"""
+
+from repro.analysis.plan_quality import (
+    BatchQuality,
+    PlanQualityProbe,
+    reorder_displacement,
+)
+from repro.analysis.overlay_stats import InstrumentedOverlay
+from repro.analysis.text import ascii_histogram
+
+__all__ = [
+    "BatchQuality",
+    "InstrumentedOverlay",
+    "PlanQualityProbe",
+    "ascii_histogram",
+    "reorder_displacement",
+]

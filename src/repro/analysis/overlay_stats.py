@@ -1,0 +1,50 @@
+"""Instrumented ownership overlay: hit/miss accounting.
+
+Wraps any :class:`KeyOverlay` (the fusion table, LEAP's unbounded map)
+and counts how often ownership lookups were answered by the overlay
+versus falling through to the static partitioner — the live analogue of
+the paper's observation that small hot sets make a bounded table enough.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import Key, NodeId
+from repro.core.router import KeyOverlay
+
+
+class InstrumentedOverlay:
+    """Transparent :class:`KeyOverlay` wrapper with lookup statistics."""
+
+    def __init__(self, inner: KeyOverlay) -> None:
+        self.inner = inner
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.removes = 0
+
+    def get(self, key: Key) -> NodeId | None:
+        found = self.inner.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def put(self, key: Key, node: NodeId):
+        self.puts += 1
+        return self.inner.put(key, node)
+
+    def remove(self, key: Key) -> None:
+        self.removes += 1
+        self.inner.remove(key)
+
+    def __len__(self) -> int:
+        return len(self.inner)  # type: ignore[arg-type]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ownership lookups the overlay answered."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

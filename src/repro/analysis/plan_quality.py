@@ -1,0 +1,120 @@
+"""Per-batch plan-quality metrics.
+
+:class:`PlanQualityProbe` is a transparent :class:`Router` wrapper: it
+delegates routing and records, per batch, the quantities Eq. (1)
+optimizes — remote reads, migrations, evictions, load imbalance — plus
+how aggressively the router permuted the batch.  The ablation benches
+use it to show *why* disabling a phase of Algorithm 1 hurts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import Batch
+from repro.core.plan import RoutingPlan
+from repro.core.router import ClusterView, Router
+
+
+def reorder_displacement(original_ids: list[int], planned_ids: list[int]) -> float:
+    """Mean absolute displacement of transactions between input and plan.
+
+    0.0 means the plan preserved the arrival order; larger values mean
+    the router moved transactions further from their arrival positions.
+    System transactions present in only one of the sequences are ignored.
+    """
+    positions = {txn_id: index for index, txn_id in enumerate(original_ids)}
+    displacements = [
+        abs(index - positions[txn_id])
+        for index, txn_id in enumerate(planned_ids)
+        if txn_id in positions
+    ]
+    if not displacements:
+        return 0.0
+    return sum(displacements) / len(displacements)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchQuality:
+    """Quality snapshot of one routed batch."""
+
+    epoch: int
+    size: int
+    remote_reads: int
+    migrations: int
+    evictions: int
+    max_load: int
+    mean_load: float
+    displacement: float
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean load; 1.0 is perfect balance."""
+        if self.mean_load == 0:
+            return 1.0
+        return self.max_load / self.mean_load
+
+    @property
+    def remote_reads_per_txn(self) -> float:
+        return self.remote_reads / self.size if self.size else 0.0
+
+
+class PlanQualityProbe(Router):
+    """Router wrapper recording a :class:`BatchQuality` per batch."""
+
+    def __init__(self, inner: Router) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.batches: list[BatchQuality] = []
+
+    def routing_cost_us(self, batch_size: int, costs) -> float:
+        return self.inner.routing_cost_us(batch_size, costs)
+
+    def route_batch(self, batch: Batch, view: ClusterView) -> RoutingPlan:
+        plan = self.inner.route_batch(batch, view)
+        loads = plan.loads(max(view.active_nodes) + 1)
+        active_loads = [loads[node] for node in view.active_nodes]
+        user_plans = [p for p in plan if not p.txn.is_system()]
+        self.batches.append(
+            BatchQuality(
+                epoch=batch.epoch,
+                size=len(user_plans),
+                remote_reads=plan.total_remote_reads(),
+                migrations=sum(len(p.migrations) for p in plan),
+                evictions=sum(len(p.evictions) for p in plan),
+                max_load=max(active_loads) if active_loads else 0,
+                mean_load=(
+                    sum(active_loads) / len(active_loads)
+                    if active_loads
+                    else 0.0
+                ),
+                displacement=reorder_displacement(
+                    [t.txn_id for t in batch if not t.is_system()],
+                    [p.txn.txn_id for p in user_plans],
+                ),
+            )
+        )
+        return plan
+
+    # -- aggregates ---------------------------------------------------------
+
+    def mean_remote_reads_per_txn(self) -> float:
+        total_txns = sum(b.size for b in self.batches)
+        if not total_txns:
+            return 0.0
+        return sum(b.remote_reads for b in self.batches) / total_txns
+
+    def mean_imbalance(self) -> float:
+        sized = [b for b in self.batches if b.size]
+        if not sized:
+            return 1.0
+        return sum(b.imbalance for b in sized) / len(sized)
+
+    def mean_displacement(self) -> float:
+        sized = [b for b in self.batches if b.size]
+        if not sized:
+            return 0.0
+        return sum(b.displacement for b in sized) / len(sized)
+
+    def total_migrations(self) -> int:
+        return sum(b.migrations for b in self.batches)

@@ -1,0 +1,39 @@
+"""Tiny text rendering helpers for analysis output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Render a horizontal ASCII histogram of ``values``.
+
+    Useful for eyeballing latency and plan-quality distributions in test
+    and benchmark output without any plotting dependency.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    lines = [label] if label else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        lines.append(f"  [{lo:g}] {'#' * width} {len(values)}")
+        return "\n".join(lines)
+    span = (hi - lo) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - lo) / span))
+        counts[index] += 1
+    peak = max(counts)
+    for index, count in enumerate(counts):
+        bar = "#" * max(1 if count else 0, int(count / peak * width))
+        bin_lo = lo + index * span
+        lines.append(f"  [{bin_lo:10.2f}] {bar:<{width}} {count}")
+    return "\n".join(lines)

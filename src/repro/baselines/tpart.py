@@ -1,0 +1,129 @@
+"""T-Part (transaction-routing-only) [Wu et al., SIGMOD'16].
+
+T-Part executes each transaction at a single master chosen to minimize
+the cost of distributed transactions *while balancing loads*, and its
+forward-pushing technique ships a record directly from the transaction
+that holds it to the next transaction in the same batch that needs it —
+eliminating repeated fetches from the record's home partition.
+
+Its structural limitation, reproduced here: partitions are fixed, so
+every record displaced during a batch must be written back to its home
+partition once no later transaction in the batch needs it.  Hermes'
+data fusion removes exactly this write-back step.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.config import RoutingConfig
+from repro.common.types import Batch, Key, NodeId
+from repro.core.plan import Migration, RoutingPlan, TxnPlan
+from repro.core.router import (
+    ClusterView,
+    Router,
+    build_chunk_migration_plan,
+    split_system_txns,
+)
+
+
+class TPartRouter(Router):
+    """Load-balanced single-master routing with forward pushing."""
+
+    name = "tpart"
+
+    def __init__(self, config: RoutingConfig | None = None) -> None:
+        self.config = config if config is not None else RoutingConfig(alpha=0.25)
+
+    def route_batch(self, batch: Batch, view: ClusterView) -> RoutingPlan:
+        user_txns, plans, migration_txns = split_system_txns(batch, view)
+        routed = RoutingPlan(epoch=batch.epoch, plans=plans)
+
+        active = view.active_nodes
+        theta = (
+            math.ceil(len(user_txns) / len(active) * (1 + self.config.alpha))
+            if user_txns
+            else 0
+        )
+        loads: dict[NodeId, int] = {node: 0 for node in active}
+
+        # Batch-local record positions created by forward pushing, and the
+        # position each displaced record must eventually return to.
+        temp: dict[Key, NodeId] = {}
+        origin: dict[Key, NodeId] = {}
+        last_toucher: dict[Key, int] = {}
+        built: list[TxnPlan] = []
+
+        for txn in user_txns:
+            locations = {
+                key: temp.get(key, view.ownership.owner(key))
+                for key in txn.full_set
+            }
+            master = self._choose_master(locations, loads, theta, active)
+            loads[master] += 1
+
+            reads_from: dict[NodeId, set[Key]] = {}
+            migrations: list[Migration] = []
+            index = len(built)
+            for key in txn.full_set:
+                location = locations[key]
+                reads_from.setdefault(location, set()).add(key)
+                if key not in origin:
+                    origin[key] = location
+                if location != master:
+                    # Forward push: the record physically moves to this
+                    # transaction's master and stays for later consumers.
+                    migrations.append(Migration(key, location, master))
+                temp[key] = master
+                last_toucher[key] = index
+
+            built.append(
+                TxnPlan(
+                    txn=txn,
+                    masters=(master,),
+                    reads_from={n: frozenset(k) for n, k in reads_from.items()},
+                    writes_at=(
+                        {master: frozenset(txn.write_set)}
+                        if txn.write_set
+                        else {}
+                    ),
+                    migrations=tuple(migrations),
+                )
+            )
+
+        # Batch end: every record not back at its origin is written back by
+        # the last transaction that touched it (post-commit, off the
+        # critical path — but it holds the lock until the record lands).
+        writebacks: dict[int, list[Migration]] = {}
+        for key, location in temp.items():
+            if location != origin[key]:
+                index = last_toucher[key]
+                writebacks.setdefault(index, []).append(
+                    Migration(key, location, origin[key])
+                )
+        for index, moves in writebacks.items():
+            built[index].writebacks = tuple(
+                sorted(moves, key=lambda m: repr(m.key))
+            )
+
+        routed.plans.extend(built)
+        for txn in migration_txns:
+            routed.plans.append(build_chunk_migration_plan(txn, view))
+        return routed
+
+    @staticmethod
+    def _choose_master(
+        locations: dict[Key, NodeId],
+        loads: dict[NodeId, int],
+        theta: int,
+        active: list[NodeId],
+    ) -> NodeId:
+        """Most-local eligible node; falls back to least-loaded."""
+        eligible = [node for node in active if loads[node] < theta]
+        if not eligible:
+            return min(active, key=lambda node: (loads[node], node))
+        counts: dict[NodeId, int] = {node: 0 for node in eligible}
+        for location in locations.values():
+            if location in counts:
+                counts[location] += 1
+        return max(eligible, key=lambda node: (counts[node], -node))

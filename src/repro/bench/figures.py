@@ -1,0 +1,409 @@
+"""Figure-level experiment compositions.
+
+Each figure benchmark is a thin wrapper around one of these helpers,
+which assemble the right workload, strategies, and special cases
+(Schism's offline partitioning, Clay's monitor, the scale-out event
+script) on top of :func:`repro.bench.harness.run_workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.baselines.schism import schism_partition
+from repro.baselines.squall import SquallExecutor
+from repro.bench.harness import ExperimentResult, run_workload
+from repro.bench.presets import (
+    GOOGLE_BENCH,
+    bench_cluster_config,
+    bench_fusion_config,
+    bench_scale,
+    bench_trace_config,
+)
+from repro.bench.specs import StrategySpec, make_strategy
+from repro.common.config import FusionConfig, RoutingConfig
+from repro.common.rng import DeterministicRNG
+from repro.core.provisioning import HybridMigrationPlanner
+from repro.engine.cluster import Cluster
+from repro.engine.migration import MigrationController
+from repro.storage.partitioning import Partitioner, make_uniform_ranges
+from repro.workloads.google_trace import SyntheticGoogleTrace
+from repro.workloads.multitenant import (
+    MultiTenantConfig,
+    MultiTenantWorkload,
+    perfect_partitioner,
+)
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, tpcc_partitioner
+from repro.workloads.ycsb import GoogleYCSBWorkload, YCSBConfig
+
+SEED = 7
+
+
+# ----------------------------------------------------------------------
+# Google-YCSB comparisons (Figures 2, 6a, 6b, 7, 8, 9, 10)
+# ----------------------------------------------------------------------
+
+
+def google_spec(name: str, num_keys: int) -> StrategySpec:
+    """Strategy spec with Google-bench sizing for the fusion/clay knobs."""
+    return make_strategy(
+        name,
+        fusion=bench_fusion_config(capacity=max(200, num_keys // 20)),
+        clay_clump_records=max(50, num_keys // 80),
+        clay_monitor_interval_us=2_000_000.0,
+        clay_imbalance_tolerance=0.25,
+    )
+
+
+def google_comparison(
+    strategies: Sequence[str],
+    *,
+    duration_s: float | None = None,
+    num_nodes: int | None = None,
+    num_keys: int | None = None,
+    rate_scale: float = 4_500.0,
+    ycsb_overrides: dict | None = None,
+    schism_periods: dict[str, tuple[float, float]] | None = None,
+    seed: int = SEED,
+) -> list[ExperimentResult]:
+    """Run the Section 5.2 comparison for the named strategies.
+
+    ``schism_periods`` maps a label (e.g. ``"schism1"``) to the fraction
+    interval of the run used as its offline training trace; those
+    entries run Calvin over the Schism partitioning, as in Figure 6(a).
+    """
+    num_nodes = num_nodes or GOOGLE_BENCH["num_nodes"]
+    num_keys = num_keys or GOOGLE_BENCH["num_keys"]
+    duration_s = (duration_s or GOOGLE_BENCH["duration_s"]) * bench_scale()
+    duration_us = duration_s * 1e6
+
+    overrides = dict(ycsb_overrides or {})
+    ycsb_config = YCSBConfig(
+        num_keys=num_keys,
+        num_partitions=num_nodes,
+        zipf_theta=overrides.pop("zipf_theta", 0.8),
+        global_cycle_us=overrides.pop("global_cycle_us", duration_us / 2),
+        **overrides,
+    )
+    trace_config = bench_trace_config(num_nodes, duration_s)
+    trace = SyntheticGoogleTrace(trace_config, DeterministicRNG(seed, "trace"))
+
+    def workload_factory(rng: DeterministicRNG) -> GoogleYCSBWorkload:
+        return GoogleYCSBWorkload(ycsb_config, trace, rng)
+
+    def rate_fn(now_us: float) -> float:
+        return rate_scale * trace.total_load_at(now_us)
+
+    def run(spec: StrategySpec, partitioner: Callable[[], Partitioner]):
+        return run_workload(
+            spec,
+            cluster_config=bench_cluster_config(num_nodes),
+            partitioner_factory=partitioner,
+            workload_factory=workload_factory,
+            keys=range(num_keys),
+            seed=seed,
+            duration_us=duration_us,
+            warmup_us=min(2_000_000.0, duration_us / 5),
+            drain=False,
+            mode="open",
+            rate_per_s=rate_fn,
+            stats_window_us=max(500_000.0, duration_us / 16),
+        )
+
+    uniform = lambda: make_uniform_ranges(num_keys, num_nodes)  # noqa: E731
+    results = []
+    for name in strategies:
+        if schism_periods and name in schism_periods:
+            lo_frac, hi_frac = schism_periods[name]
+            partitioner = _schism_partitioner_factory(
+                ycsb_config, trace, lo_frac * duration_us,
+                hi_frac * duration_us, num_nodes, seed,
+            )
+            spec = make_strategy("calvin")
+            spec.name = name
+            result = run(spec, partitioner)
+        else:
+            result = run(google_spec(name, num_keys), uniform)
+        results.append(result)
+    return results
+
+
+def _schism_partitioner_factory(
+    ycsb_config: YCSBConfig,
+    trace: SyntheticGoogleTrace,
+    period_lo_us: float,
+    period_hi_us: float,
+    num_nodes: int,
+    seed: int,
+    samples: int = 4_000,
+) -> Callable[[], Partitioner]:
+    """Offline Schism training: sample the workload over one period."""
+
+    def build() -> Partitioner:
+        workload = GoogleYCSBWorkload(
+            ycsb_config, trace, DeterministicRNG(seed, "schism-train")
+        )
+        span = period_hi_us - period_lo_us
+        txns = [
+            workload.make_txn(i, period_lo_us + span * i / samples)
+            for i in range(samples)
+        ]
+        return schism_partition(
+            txns,
+            num_keys=ycsb_config.num_keys,
+            num_nodes=num_nodes,
+            range_records=max(50, ycsb_config.num_keys // 200),
+        )
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# TPC-C (Figure 11)
+# ----------------------------------------------------------------------
+
+
+def tpcc_comparison(
+    strategies: Sequence[str],
+    hot_fraction: float,
+    *,
+    num_nodes: int = 8,
+    duration_s: float = 4.0,
+    clients: int = 900,
+    seed: int = SEED,
+) -> list[ExperimentResult]:
+    """Closed-loop TPC-C with a node-0 hot spot."""
+    duration_us = duration_s * bench_scale() * 1e6
+    tpcc_config = TPCCConfig(
+        num_warehouses=num_nodes * 10,
+        num_nodes=num_nodes,
+        hot_fraction=hot_fraction,
+    )
+
+    results = []
+    for name in strategies:
+        spec = make_strategy(
+            name,
+            fusion=bench_fusion_config(capacity=4_000),
+            clay_monitor_interval_us=min(1_500_000.0, duration_us / 5),
+        )
+        if name == "clay":
+            # TPC-C keys are tuples; Clay's range clumps need an integer
+            # keyspace, so Clay migrates whole warehouses: clump id ==
+            # warehouse id, realized as warehouse-range reassignment.
+            spec = _clay_tpcc_spec(
+                tpcc_config, min(1_500_000.0, duration_us / 5)
+            )
+        results.append(
+            run_workload(
+                spec,
+                cluster_config=bench_cluster_config(num_nodes),
+                partitioner_factory=lambda: tpcc_partitioner(tpcc_config),
+                workload_factory=lambda rng: TPCCWorkload(tpcc_config, rng),
+                seed=seed,
+                duration_us=duration_us,
+                warmup_us=min(1_000_000.0, duration_us / 5),
+                drain=False,
+                mode="closed",
+                clients=clients,
+            )
+        )
+    return results
+
+
+def _clay_tpcc_spec(
+    tpcc_config: TPCCConfig, monitor_interval_us: float = 1_500_000.0
+) -> StrategySpec:
+    """Clay over TPC-C: clumps are warehouses, moved via the warehouse
+    range map inside the KeyedPartitioner."""
+    from repro.baselines.clay import ClayController, ClayRouter
+
+    class WarehouseClayRouter(ClayRouter):
+        def __init__(self) -> None:
+            super().__init__(clump_records=1)
+
+        def clump_of(self, key):  # clump id == warehouse id
+            return key[1]
+
+        def clump_probe_key(self, clump: int):
+            return ("wh", clump)
+
+        def clump_keys(self, clump: int):
+            keys = [("wh", clump)]
+            for d in range(tpcc_config.districts_per_warehouse):
+                keys.append(("dist", clump, d))
+                for c in range(tpcc_config.customers_per_district):
+                    keys.append(("cust", clump, d, c))
+            for item in range(tpcc_config.items):
+                keys.append(("stock", clump, item))
+            return tuple(keys)
+
+    router_holder: list[WarehouseClayRouter] = []
+
+    def make_router():
+        router = WarehouseClayRouter()
+        router_holder.append(router)
+        return router
+
+    def attach(cluster: Cluster):
+        executor = SquallExecutor(cluster)
+        controller = ClayController(
+            cluster,
+            router_holder[-1],
+            executor,
+            monitor_interval_us=monitor_interval_us,
+        )
+        # Clumps reassign through the warehouse range map (KeyedPartitioner
+        # inner map), not integer key ranges, so patch home lookup: the
+        # ownership.static is the KeyedPartitioner; its reassign happens
+        # via chunk range_reassign=None (keys move in the overlay).
+        controller.start()
+        return controller
+
+    spec = StrategySpec(
+        name="clay",
+        make_router=make_router,
+        attach=attach,
+        notes="clay with warehouse-granularity clumps",
+    )
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant (Figures 12, 13) and scale-out (Figure 14)
+# ----------------------------------------------------------------------
+
+
+def multitenant_comparison(
+    strategies: Sequence[str],
+    *,
+    config: MultiTenantConfig | None = None,
+    partitioner_factory: Callable[[MultiTenantConfig], Partitioner] | None = None,
+    duration_s: float = 8.0,
+    clients: int = 800,
+    seed: int = SEED,
+    stats_window_s: float = 0.5,
+) -> list[ExperimentResult]:
+    """Closed-loop multi-tenant workload (moving hot spot by default)."""
+    wl_config = config or MultiTenantConfig(
+        num_nodes=4,
+        tenants_per_node=4,
+        records_per_tenant=2_500,
+        rotation_interval_us=2_500_000.0,
+    )
+    duration_us = duration_s * bench_scale() * 1e6
+    make_part = partitioner_factory or perfect_partitioner
+
+    results = []
+    for name in strategies:
+        spec = make_strategy(
+            name,
+            fusion=bench_fusion_config(capacity=wl_config.num_keys // 20),
+            clay_clump_records=max(50, wl_config.records_per_tenant // 5),
+            clay_monitor_interval_us=1_000_000.0,
+        )
+        results.append(
+            run_workload(
+                spec,
+                cluster_config=bench_cluster_config(wl_config.num_nodes),
+                partitioner_factory=lambda: make_part(wl_config),
+                workload_factory=lambda rng: MultiTenantWorkload(wl_config, rng),
+                seed=seed,
+                duration_us=duration_us,
+                warmup_us=min(1_000_000.0, duration_us / 10),
+                drain=False,
+                mode="closed",
+                clients=clients,
+                stats_window_us=stats_window_s * 1e6,
+            )
+        )
+    return results
+
+
+def scaleout_run(
+    variant: str,
+    *,
+    duration_s: float = 16.0,
+    event_at_s: float = 4.0,
+    clients: int = 600,
+    records_per_tenant: int = 2_500,
+    seed: int = SEED,
+) -> ExperimentResult:
+    """One Figure 14 scale-out scenario.
+
+    Variants: ``squall`` (Calvin + chunked range migration including hot
+    records), ``clay+squall`` (Clay plans after its monitoring window),
+    ``hermes-nocold-5``, ``hermes-nocold-10`` (fusion only, 5 %/10 %
+    capacity), ``hermes-cold-5`` (fusion + cold chunks that skip fused
+    records).  A 3-node cluster gains a 4th node at ``event_at_s``; the
+    hot tenant (25 % of load) occupies the first quarter of node 0.
+    """
+    wl_config = MultiTenantConfig(
+        num_nodes=3,
+        tenants_per_node=4,
+        records_per_tenant=records_per_tenant,
+        hot_mode="fixed",
+        fixed_hot_tenant=0,
+        hot_share=0.25,
+    )
+    duration_us = duration_s * bench_scale() * 1e6
+    event_us = event_at_s * bench_scale() * 1e6
+    hot_lo, hot_hi = wl_config.tenant_range(0)
+    new_node = 3
+    num_physical = 4
+
+    capacity_pct = {"hermes-nocold-5": 5, "hermes-nocold-10": 10,
+                    "hermes-cold-5": 5}
+
+    if variant == "squall":
+        spec = make_strategy("calvin")
+        spec.name = "squall"
+    elif variant == "clay+squall":
+        spec = make_strategy(
+            "clay",
+            clay_clump_records=max(50, records_per_tenant // 5),
+            clay_monitor_interval_us=2_000_000.0,
+        )
+        spec.name = "clay+squall"
+    elif variant in capacity_pct:
+        capacity = wl_config.num_keys * capacity_pct[variant] // 100
+        spec = make_strategy("hermes", fusion=FusionConfig(capacity=capacity))
+        spec.name = variant
+    else:
+        raise ValueError(f"unknown scale-out variant {variant!r}")
+
+    def before_run(cluster: Cluster) -> None:
+        def scale_out() -> None:
+            cluster.announce_topology(range(num_physical))
+            if variant == "squall":
+                SquallExecutor(cluster).migrate_range(0, new_node, hot_lo, hot_hi)
+            elif variant == "hermes-cold-5":
+                planner = HybridMigrationPlanner(
+                    chunk_records=cluster.config.engine.migration_chunk_records
+                )
+                _topology, cold_plan = planner.plan_scale_out(
+                    [0, 1, 2], new_node, [(0, hot_lo, hot_hi)]
+                )
+                MigrationController(cluster).start(cold_plan)
+            # clay+squall: the Clay controller reacts on its own once the
+            # new node is active; hermes-nocold-*: fusion only.
+
+        cluster.kernel.call_later(event_us, scale_out)
+
+    result = run_workload(
+        spec,
+        cluster_config=bench_cluster_config(num_physical),
+        partitioner_factory=lambda: perfect_partitioner(wl_config),
+        workload_factory=lambda rng: MultiTenantWorkload(wl_config, rng),
+        seed=seed,
+        duration_us=duration_us,
+        warmup_us=min(1_000_000.0, event_us / 2),
+        drain=False,
+        mode="closed",
+        clients=clients,
+        active_nodes=[0, 1, 2],
+        before_run=before_run,
+        stats_window_us=500_000.0,
+    )
+    result.extras["event_us"] = event_us
+    return result

@@ -1,0 +1,206 @@
+"""Experiment runner: one (strategy, workload) combination per call.
+
+``run_workload`` is the generic engine behind every figure: it builds a
+fresh cluster for the given :class:`StrategySpec`, loads the keyspace,
+attaches any controllers, drives the workload open- or closed-loop, and
+returns an :class:`ExperimentResult` carrying the aggregates and series
+the paper plots.  ``run_google_ycsb`` specializes it for the Google-
+trace experiments (Figures 2 and 6–10), where the offered rate follows
+the trace's total-load envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.bench.specs import StrategySpec
+from repro.common.config import ClusterConfig
+from repro.common.rng import DeterministicRNG
+from repro.engine.cluster import Cluster
+from repro.sim.stats import TimeSeries
+from repro.storage.partitioning import Partitioner
+from repro.workloads.base import ClosedLoopDriver, OpenLoopDriver
+from repro.workloads.google_trace import GoogleTraceConfig, SyntheticGoogleTrace
+from repro.workloads.ycsb import GoogleYCSBWorkload, YCSBConfig
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Everything a figure needs from one run."""
+
+    strategy: str
+    commits: int
+    duration_us: float
+    throughput_per_s: float
+    mean_latency_us: float
+    latency_breakdown_us: dict[str, float]
+    cpu_utilization: float
+    net_bytes_per_commit: float
+    remote_reads: int
+    writebacks: int
+    evictions: int
+    throughput_series: TimeSeries
+    extras: dict = field(default_factory=dict)
+
+    def summary_row(self) -> dict[str, float | str]:
+        """Flat row for the reporting tables."""
+        return {
+            "strategy": self.strategy,
+            "throughput/s": round(self.throughput_per_s, 1),
+            "latency_ms": round(self.mean_latency_us / 1000, 2),
+            "cpu_%": round(self.cpu_utilization * 100, 1),
+            "net_B/txn": round(self.net_bytes_per_commit, 0),
+            "remote_reads": self.remote_reads,
+        }
+
+
+def run_workload(
+    spec: StrategySpec,
+    *,
+    cluster_config: ClusterConfig,
+    partitioner_factory: Callable[[], Partitioner],
+    workload_factory: Callable[[DeterministicRNG], object],
+    keys: Iterable | None = None,
+    seed: int = 7,
+    duration_us: float = 30_000_000.0,
+    warmup_us: float = 2_000_000.0,
+    drain: bool = True,
+    mode: str = "closed",
+    clients: int = 200,
+    think_us: float = 0.0,
+    rate_per_s: float | Callable[[float], float] = 10_000.0,
+    stats_window_us: float = 1_000_000.0,
+    active_nodes: Iterable[int] | None = None,
+    before_run: Callable[[Cluster], None] | None = None,
+    validate_plans: bool = False,
+) -> ExperimentResult:
+    """Run one strategy on one workload and collect the paper's metrics.
+
+    ``workload_factory`` receives a deterministic RNG and must return an
+    object with ``make_txn``; if it also exposes ``all_keys`` and
+    ``keys`` is None, that is used to load the database.  ``before_run``
+    runs after construction (used to schedule scale-out events etc.).
+    """
+    rng = DeterministicRNG(seed, "experiment", spec.name)
+    cluster = Cluster(
+        cluster_config,
+        spec.make_router(),
+        partitioner_factory(),
+        overlay=spec.build_overlay(),
+        active_nodes=active_nodes,
+        stats_window_us=stats_window_us,
+        validate_plans=validate_plans,
+    )
+    workload = workload_factory(rng.fork("workload"))
+
+    if keys is None:
+        keys = workload.all_keys()
+    cluster.load_data(keys)
+
+    attached = spec.attach(cluster) if spec.attach is not None else None
+    cluster.metrics.warmup_until = warmup_us
+
+    if mode == "closed":
+        driver = ClosedLoopDriver(
+            cluster, workload, num_clients=clients,
+            stop_us=duration_us, think_us=think_us,
+        )
+    elif mode == "open":
+        driver = OpenLoopDriver(
+            cluster, workload, rate_per_s, rng.fork("driver"),
+            stop_us=duration_us,
+        )
+    else:
+        raise ValueError(f"unknown driver mode {mode!r}")
+
+    if before_run is not None:
+        before_run(cluster)
+    driver.start()
+    cluster.run_until(duration_us)
+    end = duration_us
+    if drain:
+        end = cluster.run_until_quiescent(duration_us * 2)
+
+    metrics = cluster.metrics
+    return ExperimentResult(
+        strategy=spec.name,
+        commits=metrics.commits,
+        duration_us=end,
+        throughput_per_s=metrics.throughput_per_second(end),
+        mean_latency_us=metrics.mean_latency_us(),
+        latency_breakdown_us=metrics.latency.averages(),
+        cpu_utilization=cluster.cpu_utilization(end),
+        net_bytes_per_commit=cluster.network_bytes_per_commit(),
+        remote_reads=metrics.remote_reads,
+        writebacks=metrics.writebacks,
+        evictions=metrics.evictions,
+        throughput_series=metrics.throughput_series(end),
+        extras={
+            "attached": attached,
+            "submitted": driver.submitted,
+            "cluster": cluster,
+        },
+    )
+
+
+def run_google_ycsb(
+    spec: StrategySpec,
+    *,
+    num_nodes: int = 20,
+    cluster_config: ClusterConfig | None = None,
+    ycsb_config: YCSBConfig | None = None,
+    trace_config: GoogleTraceConfig | None = None,
+    partitioner_factory: Callable[[], Partitioner] | None = None,
+    rate_scale: float = 1500.0,
+    seed: int = 7,
+    duration_us: float = 60_000_000.0,
+    warmup_us: float = 5_000_000.0,
+    stats_window_us: float = 5_000_000.0,
+    validate_plans: bool = False,
+) -> ExperimentResult:
+    """The Section 5.2 experiment: YCSB shaped by a Google-style trace.
+
+    The offered (open-loop) rate is the trace's total-load envelope
+    times ``rate_scale`` transactions per second per unit load, so
+    throughput curves track the trace exactly as in Figures 2/6.
+    """
+    from repro.storage.partitioning import make_uniform_ranges
+
+    cluster_config = cluster_config or ClusterConfig(num_nodes=num_nodes)
+    ycsb_config = ycsb_config or YCSBConfig(num_partitions=num_nodes)
+    trace_config = trace_config or GoogleTraceConfig(
+        num_machines=ycsb_config.num_partitions,
+        duration_s=duration_us / 1e6,
+    )
+    trace_rng = DeterministicRNG(seed, "trace")
+    trace = SyntheticGoogleTrace(trace_config, trace_rng)
+
+    def workload_factory(rng: DeterministicRNG) -> GoogleYCSBWorkload:
+        return GoogleYCSBWorkload(ycsb_config, trace, rng)
+
+    def rate_fn(now_us: float) -> float:
+        return rate_scale * trace.total_load_at(now_us)
+
+    if partitioner_factory is None:
+        partitioner_factory = lambda: make_uniform_ranges(  # noqa: E731
+            ycsb_config.num_keys, num_nodes
+        )
+
+    result = run_workload(
+        spec,
+        cluster_config=cluster_config,
+        partitioner_factory=partitioner_factory,
+        workload_factory=workload_factory,
+        keys=range(ycsb_config.num_keys),
+        seed=seed,
+        duration_us=duration_us,
+        warmup_us=warmup_us,
+        drain=False,
+        mode="open",
+        rate_per_s=rate_fn,
+        stats_window_us=stats_window_us,
+        validate_plans=validate_plans,
+    )
+    result.extras["trace"] = trace
+    return result

@@ -1,0 +1,114 @@
+"""Paper-style table and series rendering for benchmark output.
+
+The benchmarks print the same rows/series the paper reports, so a reader
+can line the output up against each figure.  Everything here is plain
+text — no plotting dependencies — and also writable as CSV for external
+plotting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.sim.stats import LATENCY_STAGES
+
+
+def format_table(results: Iterable[ExperimentResult], title: str = "") -> str:
+    """Aligned comparison table of summary rows."""
+    rows = [result.summary_row() for result in results]
+    if not rows:
+        return f"{title}\n(no results)"
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(str(row[h])) for row in rows))
+        for h in headers
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(widths[h]) for h in headers))
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[h]).rjust(widths[h]) for h in headers)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    results: Iterable[ExperimentResult],
+    title: str = "",
+    max_points: int = 24,
+) -> str:
+    """Side-by-side throughput-over-time series (one column per system)."""
+    results = list(results)
+    if not results:
+        return f"{title}\n(no results)"
+    lines = []
+    if title:
+        lines.append(title)
+    header = ["t(s)"] + [r.strategy for r in results]
+    widths = [8] + [max(9, len(name) + 1) for name in header[1:]]
+    lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+    length = max(len(r.throughput_series) for r in results)
+    stride = max(1, length // max_points)
+    for index in range(0, length, stride):
+        row = []
+        time_s = None
+        for result in results:
+            series = result.throughput_series
+            if index < len(series):
+                if time_s is None:
+                    time_s = series.times[index] / 1e6
+                row.append(f"{series.values[index]:.0f}")
+            else:
+                row.append("-")
+        lines.append(
+            f"{time_s if time_s is not None else 0:8.1f}"
+            + "".join(v.rjust(w) for v, w in zip(row, widths[1:]))
+        )
+    return "\n".join(lines)
+
+
+def format_latency_breakdown(results: Iterable[ExperimentResult]) -> str:
+    """The Figure 7 table: average per-stage latency per system."""
+    results = list(results)
+    lines = ["latency breakdown (ms per committed txn)"]
+    header = ["stage"] + [r.strategy for r in results]
+    widths = [14] + [max(9, len(r.strategy) + 1) for r in results]
+    lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+    for stage in LATENCY_STAGES:
+        row = [stage] + [
+            f"{r.latency_breakdown_us[stage] / 1000:.2f}" for r in results
+        ]
+        lines.append("".join(v.rjust(w) for v, w in zip(row, widths)))
+    totals = ["total"] + [
+        f"{sum(r.latency_breakdown_us.values()) / 1000:.2f}" for r in results
+    ]
+    lines.append("".join(v.rjust(w) for v, w in zip(totals, widths)))
+    return "\n".join(lines)
+
+
+def write_series_csv(
+    path: str, results: Sequence[ExperimentResult]
+) -> None:
+    """Dump throughput series as CSV (time_s, one column per system)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "time_s," + ",".join(r.strategy for r in results) + "\n"
+        )
+        length = max(len(r.throughput_series) for r in results)
+        for index in range(length):
+            cells = []
+            time_s = ""
+            for result in results:
+                series = result.throughput_series
+                if index < len(series):
+                    time_s = f"{series.times[index] / 1e6:.2f}"
+                    cells.append(f"{series.values[index]:.1f}")
+                else:
+                    cells.append("")
+            handle.write(f"{time_s}," + ",".join(cells) + "\n")

@@ -1,0 +1,143 @@
+"""Strategy specifications: how each evaluated system is assembled.
+
+A :class:`StrategySpec` bundles everything needed to stand up one of the
+paper's systems on a fresh cluster: the router factory, the ownership
+overlay (Hermes' bounded fusion table vs. LEAP's unbounded map vs. none),
+and an ``attach`` hook that wires auxiliary controllers (Clay's monitor
+loop + Squall executor) once the cluster exists.
+
+``make_strategy(name, ...)`` is the registry the benchmarks use; names
+match the paper's labels: ``calvin``, ``gstore``, ``leap``, ``tpart``,
+``clay``, ``hermes`` (plus ``hermes-noreorder`` / ``hermes-nobalance``
+for the ablations).  Schism is not a runtime strategy — it produces a
+static partitioning offline — so it appears in the harness as a
+partitioner, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.calvin import CalvinRouter
+from repro.baselines.clay import ClayController, ClayRouter
+from repro.baselines.gstore import GStoreRouter
+from repro.baselines.leap import LeapRouter
+from repro.baselines.squall import SquallExecutor
+from repro.baselines.tpart import TPartRouter
+from repro.common.config import FusionConfig, RoutingConfig
+from repro.common.errors import ConfigurationError
+from repro.core.fusion_table import FusionTable
+from repro.core.prescient import PrescientRouter
+from repro.core.router import KeyOverlay, Router
+
+if True:  # typing-only import kept explicit for readability
+    from repro.engine.cluster import Cluster
+
+
+@dataclass(slots=True)
+class StrategySpec:
+    """Recipe for standing up one evaluated system."""
+
+    name: str
+    make_router: Callable[[], Router]
+    make_overlay: Callable[[], KeyOverlay] | None = None
+    attach: Callable[["Cluster"], object] | None = None
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def build_overlay(self) -> KeyOverlay | None:
+        if self.make_overlay is None:
+            return None
+        return self.make_overlay()
+
+
+def make_strategy(
+    name: str,
+    *,
+    fusion: FusionConfig | None = None,
+    routing: RoutingConfig | None = None,
+    clay_clump_records: int = 500,
+    clay_monitor_interval_us: float = 30_000_000.0,
+    clay_imbalance_tolerance: float = 0.25,
+) -> StrategySpec:
+    """Build the spec for one of the paper's systems by name."""
+    if name == "calvin":
+        return StrategySpec(
+            name="calvin",
+            make_router=CalvinRouter,
+            notes="vanilla multi-master over static partitions",
+        )
+    if name == "gstore":
+        return StrategySpec(
+            name="gstore",
+            make_router=GStoreRouter,
+            notes="look-present grouping; pull then push back",
+        )
+    if name == "leap":
+        return StrategySpec(
+            name="leap",
+            make_router=LeapRouter,
+            notes="look-present fusion; no balancing, unbounded overlay",
+        )
+    if name == "tpart":
+        return StrategySpec(
+            name="tpart",
+            make_router=lambda: TPartRouter(routing),
+            notes="routing-only with forward pushing; batch-end writeback",
+        )
+    if name == "clay":
+        router_holder: list[ClayRouter] = []
+
+        def make_router() -> Router:
+            router = ClayRouter(clump_records=clay_clump_records)
+            router_holder.append(router)
+            return router
+
+        def attach(cluster: "Cluster") -> ClayController:
+            executor = SquallExecutor(cluster)
+            controller = ClayController(
+                cluster,
+                router_holder[-1],
+                executor,
+                monitor_interval_us=clay_monitor_interval_us,
+                imbalance_tolerance=clay_imbalance_tolerance,
+            )
+            controller.start()
+            return controller
+
+        return StrategySpec(
+            name="clay",
+            make_router=make_router,
+            attach=attach,
+            notes="look-back clump re-partitioning via Squall",
+        )
+    if name in ("hermes", "hermes-noreorder", "hermes-nobalance"):
+        base = routing if routing is not None else RoutingConfig()
+        if name == "hermes-noreorder":
+            config = RoutingConfig(
+                alpha=base.alpha, reorder=False, balance=base.balance,
+                max_delta=base.max_delta,
+            )
+        elif name == "hermes-nobalance":
+            config = RoutingConfig(
+                alpha=base.alpha, reorder=base.reorder, balance=False,
+                max_delta=base.max_delta,
+            )
+        else:
+            config = base
+        fusion_config = fusion if fusion is not None else FusionConfig()
+        return StrategySpec(
+            name=name,
+            make_router=lambda: PrescientRouter(config),
+            make_overlay=lambda: FusionTable(fusion_config),
+            notes="prescient routing + bounded fusion table",
+        )
+    raise ConfigurationError(f"unknown strategy {name!r}")
+
+
+#: The systems compared in Figures 6(b)/7/8/9 (on-line strategies).
+ONLINE_STRATEGIES = ("calvin", "gstore", "tpart", "leap", "hermes")
+
+#: The full comparison set used by the simpler-workload experiments.
+ALL_STRATEGIES = ("calvin", "clay", "gstore", "tpart", "leap", "hermes")

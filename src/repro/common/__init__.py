@@ -1,0 +1,58 @@
+"""Shared primitives used by every subsystem.
+
+This package holds the vocabulary of the whole reproduction: record keys,
+transactions, node identifiers, configuration dataclasses, deterministic
+random-number helpers, and the exception hierarchy.  Nothing in here knows
+about simulation, routing, or storage — it is the bottom layer.
+"""
+
+from repro.common.config import (
+    ClusterConfig,
+    CostModel,
+    EngineConfig,
+    FusionConfig,
+    RoutingConfig,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    MigrationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    StorageError,
+    TransactionAborted,
+)
+from repro.common.rng import DeterministicRNG, derive_seed
+from repro.common.types import (
+    Batch,
+    ExecutionProfile,
+    Key,
+    NodeId,
+    Transaction,
+    TxnId,
+    TxnKind,
+)
+
+__all__ = [
+    "Batch",
+    "ClusterConfig",
+    "ConfigurationError",
+    "CostModel",
+    "DeterministicRNG",
+    "EngineConfig",
+    "ExecutionProfile",
+    "FusionConfig",
+    "Key",
+    "MigrationError",
+    "NodeId",
+    "ReproError",
+    "RoutingConfig",
+    "RoutingError",
+    "SimulationError",
+    "StorageError",
+    "Transaction",
+    "TransactionAborted",
+    "TxnId",
+    "TxnKind",
+    "derive_seed",
+]

@@ -1,0 +1,120 @@
+"""The fusion table (Sections 3.1 and 4.1).
+
+A bounded (record key → partition id) map tracking the live placement of
+*hot* records — records the prescient router has fused away from their
+static home.  Key properties reproduced from the paper:
+
+* **Replicated by determinism.**  Every scheduler replica holds a copy
+  and applies the same deterministic updates in the same total order, so
+  the replicas never diverge.  In this single-process simulation we keep
+  one instance and assert determinism across runs in the tests.
+* **Bounded with deterministic eviction.**  When the table exceeds its
+  capacity the scheduler evicts entries by FIFO or LRU (both
+  deterministic) and attaches the evicted keys to the transaction being
+  routed, which migrates the records back to their static homes after
+  commit (Section 4.1).
+* **Home entries are never stored.**  A record fused back onto its
+  static home simply disappears from the table — the table only holds
+  genuinely displaced records, which is what keeps 2.5 % of the database
+  enough capacity in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.config import FusionConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import Key, NodeId
+
+
+class FusionTable:
+    """Bounded key→partition overlay with FIFO/LRU eviction.
+
+    Implements the :class:`repro.core.router.KeyOverlay` protocol, so an
+    :class:`OwnershipView` can layer it directly over a static
+    partitioner.  ``put`` returns the (key, owner) pairs that were
+    evicted; the router turns those into send-home migrations.
+
+    Note ``put`` callers are responsible for not inserting keys that sit
+    at their static home — the table itself has no notion of "home"; the
+    :class:`OwnershipView` enforces that invariant via ``record_move``.
+    """
+
+    def __init__(self, config: FusionConfig | None = None) -> None:
+        self.config = config if config is not None else FusionConfig()
+        self._entries: OrderedDict[Key, NodeId] = OrderedDict()
+        self.evictions_total = 0
+        self.inserts_total = 0
+
+    # -- KeyOverlay protocol ---------------------------------------------
+
+    def get(self, key: Key) -> NodeId | None:
+        """Live owner of ``key``; refreshes recency under LRU."""
+        node = self._entries.get(key)
+        if node is not None and self.config.eviction == "lru":
+            self._entries.move_to_end(key)
+        return node
+
+    def put(self, key: Key, node: NodeId) -> list[tuple[Key, NodeId]]:
+        """Record ``key``'s new owner; return evicted (key, owner) pairs.
+
+        The evicted owner returned is the owner *recorded in the table*
+        (i.e. where the record currently lives), which is where the
+        eviction migration must originate.
+        """
+        if key in self._entries:
+            self._entries[key] = node
+            self._entries.move_to_end(key)
+        else:
+            self._entries[key] = node
+            self.inserts_total += 1
+        evicted: list[tuple[Key, NodeId]] = []
+        capacity = self.config.capacity
+        if capacity:
+            while len(self._entries) > capacity:
+                old_key, old_node = self._entries.popitem(last=False)
+                evicted.append((old_key, old_node))
+                self.evictions_total += 1
+        return evicted
+
+    def remove(self, key: Key) -> None:
+        """Drop ``key`` (it reverted to its static home)."""
+        self._entries.pop(key, None)
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def items(self):
+        """Iterate (key, owner) pairs in eviction order (oldest first)."""
+        return self._entries.items()
+
+    def owners_of_node(self, node: NodeId) -> list[Key]:
+        """Keys currently fused onto ``node`` (used by provisioning)."""
+        return [k for k, n in self._entries.items() if n == node]
+
+    def reassign_node(self, old: NodeId, new: NodeId) -> int:
+        """Point every entry on ``old`` at ``new``; returns count.
+
+        View-level operation only: the caller is responsible for also
+        migrating the records physically (see
+        :meth:`HybridMigrationPlanner.plan_hot_drain`), otherwise the
+        replicated view and the stores diverge.
+        """
+        if old == new:
+            raise ConfigurationError("reassign_node requires distinct nodes")
+        count = 0
+        for key, node in self._entries.items():
+            if node == old:
+                self._entries[key] = new
+                count += 1
+        return count
+
+    def snapshot(self) -> dict[Key, NodeId]:
+        """A copy of the current entries, for tests and checkpoints."""
+        return dict(self._entries)

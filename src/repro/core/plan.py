@@ -1,0 +1,171 @@
+"""Routing plan types — the contract between routers and the engine.
+
+A router turns a totally ordered batch into a :class:`RoutingPlan`: the
+(possibly reordered) transaction sequence plus one :class:`TxnPlan` per
+transaction describing exactly which node does what:
+
+* ``masters`` — the nodes that execute transaction logic and apply
+  writes.  Single-master strategies (Hermes, LEAP, G-Store+, T-Part) use
+  one; Calvin's multi-master scheme lists every write-owning node.
+* ``reads_from`` — for each node, the keys it reads from local storage
+  and ships to the masters.  Keys located at a master are read there.
+* ``writes_at`` — for each node, the keys it writes locally.
+* ``migrations`` — ownership transfers that ride this transaction
+  (data fusion): the record physically moves with the remote read and
+  *stays* at the destination.
+* ``writebacks`` — post-commit copies shipped back to a key's home
+  (G-Store disbanding a group, T-Part returning records at batch end).
+* ``evictions`` — fusion-table evictions attached to this transaction
+  (Section 4.1): records pushed back to their static home after commit
+  without delaying the client.
+
+The plan is *positional*: ``reads_from``/``writes_at`` name the node a
+key is located at **at this transaction's position in the planned
+sequence**, as computed by the router against its deterministic ownership
+view.  The engine's lock manager guarantees physical reality matches the
+plan, and the executor asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import RoutingError
+from repro.common.types import Key, NodeId, Transaction
+
+
+@dataclass(frozen=True, slots=True)
+class Migration:
+    """One record changing owner: ``key`` moves from ``src`` to ``dst``."""
+
+    key: Key
+    src: NodeId
+    dst: NodeId
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise RoutingError(f"migration of {self.key!r} to its own node")
+
+
+@dataclass(slots=True)
+class TxnPlan:
+    """Execution recipe for a single transaction."""
+
+    txn: Transaction
+    masters: tuple[NodeId, ...]
+    reads_from: dict[NodeId, frozenset[Key]] = field(default_factory=dict)
+    writes_at: dict[NodeId, frozenset[Key]] = field(default_factory=dict)
+    migrations: tuple[Migration, ...] = ()
+    writebacks: tuple[Migration, ...] = ()
+    evictions: tuple[Migration, ...] = ()
+
+    @property
+    def coordinator(self) -> NodeId:
+        """The master used for latency accounting and commit counting."""
+        return self.masters[0]
+
+    def remote_read_count(self) -> int:
+        """Records shipped to masters from elsewhere (the r(x;T) of Eq. 1)."""
+        return sum(
+            len(keys)
+            for node, keys in self.reads_from.items()
+            if node not in self.masters
+        )
+
+    def participant_nodes(self) -> set[NodeId]:
+        """Every node that does any work for this transaction."""
+        nodes: set[NodeId] = set(self.masters)
+        nodes.update(self.reads_from)
+        nodes.update(self.writes_at)
+        for move in self.migrations:
+            nodes.add(move.src)
+            nodes.add(move.dst)
+        for move in self.writebacks:
+            nodes.add(move.src)
+            nodes.add(move.dst)
+        return nodes
+
+    def validate(self, num_nodes_hint: int | None = None) -> None:
+        """Check internal consistency; raises :class:`RoutingError`.
+
+        Routers run this in their tests and the engine runs it in debug
+        mode — an invalid plan means a router bug, and catching it here
+        is vastly cheaper than debugging a corrupted simulation.
+        """
+        if not self.masters:
+            raise RoutingError(f"txn {self.txn.txn_id}: no master")
+        full = self.txn.full_set
+        seen_reads: set[Key] = set()
+        for node, keys in self.reads_from.items():
+            overlap = seen_reads & set(keys)
+            if overlap:
+                raise RoutingError(
+                    f"txn {self.txn.txn_id}: keys {overlap} read at two nodes"
+                )
+            seen_reads.update(keys)
+            if not set(keys) <= full:
+                raise RoutingError(
+                    f"txn {self.txn.txn_id}: node {node} reads keys outside "
+                    "the transaction's footprint"
+                )
+        if seen_reads != full:
+            missing = full - seen_reads
+            raise RoutingError(
+                f"txn {self.txn.txn_id}: keys {missing} are never read"
+            )
+        written = set()
+        for keys in self.writes_at.values():
+            written.update(keys)
+        if written != set(self.txn.write_set):
+            raise RoutingError(
+                f"txn {self.txn.txn_id}: writes_at covers {written}, "
+                f"expected {set(self.txn.write_set)}"
+            )
+        for move in self.migrations:
+            if move.key not in full:
+                raise RoutingError(
+                    f"txn {self.txn.txn_id}: migrates {move.key!r} which it "
+                    "does not access"
+                )
+        if num_nodes_hint is not None:
+            for node in self.participant_nodes():
+                if not 0 <= node < num_nodes_hint:
+                    raise RoutingError(
+                        f"txn {self.txn.txn_id}: node {node} out of range"
+                    )
+
+
+@dataclass(slots=True)
+class RoutingPlan:
+    """A routed batch: plans in execution order (B′ of the paper)."""
+
+    epoch: int
+    plans: list[TxnPlan] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self):
+        return iter(self.plans)
+
+    def total_remote_reads(self) -> int:
+        """The objective value of Eq. (1) for this plan."""
+        return sum(plan.remote_read_count() for plan in self.plans)
+
+    def loads(self, num_nodes: int) -> list[int]:
+        """Transactions routed to each node (the l(P) of Eq. 1)."""
+        loads = [0] * num_nodes
+        for plan in self.plans:
+            for master in plan.masters:
+                loads[master] += 1
+        return loads
+
+    def validate(self, batch_txn_ids: list[int]) -> None:
+        """Check the plan is a permutation of the input batch."""
+        planned = sorted(plan.txn.txn_id for plan in self.plans)
+        if planned != sorted(batch_txn_ids):
+            raise RoutingError(
+                "routing plan is not a permutation of the input batch"
+            )
+        for plan in self.plans:
+            plan.validate()

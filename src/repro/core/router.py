@@ -1,0 +1,385 @@
+"""Router abstraction and shared plan-building helpers.
+
+Every strategy — Hermes and all six baselines — implements
+:class:`Router`.  A router is a **deterministic** function of the totally
+ordered input: the paper's correctness argument (Section 3.1) rests on
+every scheduler replica computing the identical plan from the identical
+batch, so routers must not consult wall clocks, unseeded randomness, or
+iteration orders that differ between runs.
+
+:class:`OwnershipView` answers "where is this record *right now*" by
+layering a live overlay (the fusion table, or a baseline's migration
+state) over the static partitioner.  :class:`ClusterView` bundles the
+ownership view with the active topology.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, MutableMapping, Protocol
+
+from repro.common.errors import RoutingError
+from repro.common.types import Batch, Key, NodeId, Transaction, TxnKind
+from repro.core.plan import Migration, RoutingPlan, TxnPlan
+from repro.storage.partitioning import Partitioner
+
+
+class KeyOverlay(Protocol):
+    """Anything that can answer/record live ownership for hot keys."""
+
+    def get(self, key: Key) -> NodeId | None:
+        """Live owner of ``key`` or ``None`` when not overridden."""
+        ...  # pragma: no cover - protocol
+
+    def put(self, key: Key, node: NodeId) -> list[tuple[Key, NodeId]]:
+        """Record a new owner; returns (key, home) pairs evicted."""
+        ...  # pragma: no cover - protocol
+
+    def remove(self, key: Key) -> None:
+        """Drop a key from the overlay (it reverts to its static home)."""
+        ...  # pragma: no cover - protocol
+
+
+class DictOverlay:
+    """Unbounded overlay used by LEAP and by tests.
+
+    LEAP migrates records permanently and never evicts, which is exactly
+    a plain dict.  (Its unboundedness is one of the problems the fusion
+    table's capacity bound fixes.)
+    """
+
+    def __init__(self) -> None:
+        self._map: dict[Key, NodeId] = {}
+
+    def get(self, key: Key) -> NodeId | None:
+        return self._map.get(key)
+
+    def put(self, key: Key, node: NodeId) -> list[tuple[Key, NodeId]]:
+        self._map[key] = node
+        return []
+
+    def remove(self, key: Key) -> None:
+        self._map.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class OwnershipView:
+    """Live record placement: overlay over a static partitioner."""
+
+    def __init__(self, static: Partitioner, overlay: KeyOverlay | None = None):
+        self.static = static
+        self.overlay = overlay if overlay is not None else DictOverlay()
+
+    def owner(self, key: Key) -> NodeId:
+        """The node that currently holds ``key``."""
+        live = self.overlay.get(key)
+        if live is not None:
+            return live
+        return self.static.home(key)
+
+    def home(self, key: Key) -> NodeId:
+        """The static home of ``key`` (where evictions send it back)."""
+        return self.static.home(key)
+
+    def record_move(self, key: Key, dst: NodeId) -> list[tuple[Key, NodeId]]:
+        """Register that ``key`` now lives at ``dst``.
+
+        If ``dst`` is the key's static home the overlay entry is dropped
+        instead of stored — keeping the overlay to genuinely displaced
+        records only.  Returns any evictions the overlay performed.
+        """
+        if self.static.home(key) == dst:
+            self.overlay.remove(key)
+            return []
+        return self.overlay.put(key, dst)
+
+
+class ClusterView:
+    """What a router is allowed to see when planning a batch."""
+
+    def __init__(
+        self,
+        active_nodes: Iterable[NodeId],
+        ownership: OwnershipView,
+    ) -> None:
+        self.active_nodes = sorted(active_nodes)
+        if not self.active_nodes:
+            raise RoutingError("cluster view needs at least one active node")
+        self.ownership = ownership
+
+    @property
+    def num_active(self) -> int:
+        return len(self.active_nodes)
+
+    def set_active(self, nodes: Iterable[NodeId]) -> None:
+        """Apply a topology change (Section 3.3's special transaction)."""
+        updated = sorted(nodes)
+        if not updated:
+            raise RoutingError("cannot deactivate every node")
+        self.active_nodes = updated
+
+
+class Router(ABC):
+    """A deterministic batch-routing strategy."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "router"
+
+    @abstractmethod
+    def route_batch(self, batch: Batch, view: ClusterView) -> RoutingPlan:
+        """Turn a totally ordered batch into an executable plan.
+
+        Implementations may reorder transactions within the batch but
+        must return exactly the same transaction set, and must mutate
+        ``view.ownership`` to reflect any migrations they plan — the next
+        batch is planned against the updated view.
+        """
+
+    def routing_cost_us(self, batch_size: int, costs) -> float:
+        """Scheduler CPU charged for planning a batch of this size.
+
+        Default: linear in the batch size.  The prescient router
+        overrides this with its quadratic term (Section 3.2.4).
+        """
+        return costs.route_fixed_us + costs.route_per_txn_us * batch_size
+
+
+def count_by_owner(
+    txn: Transaction, view: ClusterView, keys: Iterable[Key] | None = None
+) -> dict[NodeId, int]:
+    """How many of the transaction's keys each node currently owns."""
+    counts: dict[NodeId, int] = {}
+    for key in keys if keys is not None else txn.full_set:
+        owner = view.ownership.owner(key)
+        counts[owner] = counts.get(owner, 0) + 1
+    return counts
+
+
+def majority_owner(txn: Transaction, view: ClusterView) -> NodeId:
+    """The active node owning the most of the transaction's records.
+
+    Ties break by hashing the transaction id over the tied candidates —
+    deterministic (the id is part of the ordered input) but unbiased: a
+    lowest-id tiebreak would systematically funnel every migrating
+    strategy's records onto node 0.  If no owner is active (all data on
+    draining nodes), falls back over all active nodes the same way.
+    """
+    counts = count_by_owner(txn, view)
+    active = set(view.active_nodes)
+    best_count = -1
+    tied: list[NodeId] = []
+    for node in sorted(counts):
+        if node not in active:
+            continue
+        if counts[node] > best_count:
+            best_count = counts[node]
+            tied = [node]
+        elif counts[node] == best_count:
+            tied.append(node)
+    if not tied:
+        tied = list(view.active_nodes)
+    return tied[txn.txn_id % len(tied)]
+
+
+def build_single_master_plan(
+    txn: Transaction,
+    master: NodeId,
+    view: ClusterView,
+    *,
+    migrate_writes: bool = False,
+    migrate_reads: bool = False,
+    writeback_remote: bool = False,
+    update_view: bool = True,
+) -> TxnPlan:
+    """Construct a single-master :class:`TxnPlan` under a given policy.
+
+    The policy flags span the strategy space:
+
+    * Hermes: ``migrate_writes=True`` (write-set-only fusion);
+    * LEAP:   ``migrate_writes=True, migrate_reads=True``;
+    * G-Store+: all three migrate/writeback flags with
+      ``update_view=False`` — records are pulled into the group, then
+      pushed back to their homes after commit, so net ownership never
+      changes;
+    * plain single-master (no flags): remote reads are copies, writes to
+      remote keys are shipped to their owners post-commit like Calvin's
+      write propagation — used as a building block by T-Part, whose
+      router fills in forward-pushing and batch-end writebacks itself.
+    """
+    reads_from: dict[NodeId, set[Key]] = {}
+    for key in txn.full_set:
+        owner = view.ownership.owner(key)
+        reads_from.setdefault(owner, set()).add(key)
+
+    migrations: list[Migration] = []
+    writebacks: list[Migration] = []
+    writes_at: dict[NodeId, set[Key]] = {}
+
+    for key in txn.write_set:
+        owner = view.ownership.owner(key)
+        if owner == master:
+            writes_at.setdefault(master, set()).add(key)
+        elif migrate_writes:
+            migrations.append(Migration(key, owner, master))
+            writes_at.setdefault(master, set()).add(key)
+        else:
+            # Record stays home; the master ships the new value back and
+            # the owner applies it (Calvin-style write propagation).
+            writes_at.setdefault(owner, set()).add(key)
+
+    if migrate_reads:
+        for key in txn.read_set - txn.write_set:
+            owner = view.ownership.owner(key)
+            if owner != master:
+                migrations.append(Migration(key, owner, master))
+
+    if writeback_remote:
+        for key in txn.full_set:
+            owner = view.ownership.owner(key)
+            if owner != master:
+                writebacks.append(Migration(key, master, owner))
+
+    plan = TxnPlan(
+        txn=txn,
+        masters=(master,),
+        reads_from={n: frozenset(k) for n, k in reads_from.items()},
+        writes_at={n: frozenset(k) for n, k in writes_at.items()},
+        migrations=tuple(migrations),
+        writebacks=tuple(writebacks),
+    )
+    if update_view:
+        for move in migrations:
+            view.ownership.record_move(move.key, move.dst)
+    return plan
+
+
+def build_multi_master_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
+    """Construct Calvin's multi-master plan.
+
+    Every node owning a written record is a master: it collects the
+    remote reads, runs the transaction logic, and writes the records it
+    owns.  Read-only transactions execute at the majority read owner.
+    No data moves permanently.
+    """
+    writer_nodes = sorted(
+        {view.ownership.owner(key) for key in txn.write_set}
+    )
+    if not writer_nodes:
+        writer_nodes = [majority_owner(txn, view)]
+
+    reads_from: dict[NodeId, set[Key]] = {}
+    for key in txn.full_set:
+        owner = view.ownership.owner(key)
+        reads_from.setdefault(owner, set()).add(key)
+
+    writes_at: dict[NodeId, set[Key]] = {}
+    for key in txn.write_set:
+        owner = view.ownership.owner(key)
+        writes_at.setdefault(owner, set()).add(key)
+
+    return TxnPlan(
+        txn=txn,
+        masters=tuple(writer_nodes),
+        reads_from={n: frozenset(k) for n, k in reads_from.items()},
+        writes_at={n: frozenset(k) for n, k in writes_at.items()},
+    )
+
+
+def build_topology_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
+    """Plan for a TOPOLOGY marker transaction: a no-data no-op.
+
+    The routing layer applies the topology change when it *sees* the
+    marker (totally ordered, hence consistent across replicas); the
+    engine merely commits it.
+    """
+    if txn.kind is not TxnKind.TOPOLOGY:
+        raise RoutingError("build_topology_plan requires a TOPOLOGY txn")
+    return TxnPlan(txn=txn, masters=(view.active_nodes[0],))
+
+
+def build_chunk_migration_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
+    """Plan a cold-migration chunk transaction (Squall-style).
+
+    Moves every chunk key whose *live* owner is still the chunk's source
+    — keys the fusion table has displaced elsewhere are skipped, which is
+    Hermes' hot/cold isolation (Section 3.3); under fusion-less baselines
+    nothing is displaced, so the chunk moves (and locks) everything.
+
+    If the chunk names a ``range_reassign`` and the static partitioner
+    supports it, the keys' static home is rewritten to the destination at
+    plan time — deterministically, since planning follows the total order.
+    """
+    if txn.kind is not TxnKind.MIGRATION:
+        raise RoutingError("build_chunk_migration_plan requires MIGRATION")
+    chunk = txn.payload
+    if chunk is None:
+        raise RoutingError(f"migration txn {txn.txn_id} lacks a chunk payload")
+
+    moved = [key for key in chunk.keys if view.ownership.owner(key) == chunk.src]
+    moved_set = set(moved)
+    migrations = tuple(Migration(key, chunk.src, chunk.dst) for key in moved)
+
+    if chunk.range_reassign is not None and hasattr(
+        view.ownership.static, "reassign"
+    ):
+        lo, hi = chunk.range_reassign
+        view.ownership.static.reassign(lo, hi, chunk.dst)
+    evictions: list[Migration] = []
+    for key in moved:
+        # After a static reassign the destination usually *is* the new
+        # home, so record_move just clears any stale overlay entry.  When
+        # the chunk targets a non-home node (hot drains), the bounded
+        # fusion table may evict entries — those records must ship back
+        # to their homes or the view would silently forget them.
+        for evicted_key, evicted_owner in view.ownership.record_move(
+            key, chunk.dst
+        ):
+            if evicted_key in moved_set:
+                continue  # re-inserted later in this very chunk
+            home = view.ownership.home(evicted_key)
+            if evicted_owner != home:
+                evictions.append(Migration(evicted_key, evicted_owner, home))
+
+    effective = Transaction(
+        txn_id=txn.txn_id,
+        read_set=frozenset(moved),
+        write_set=frozenset(),
+        kind=TxnKind.MIGRATION,
+        arrival_time=txn.arrival_time,
+        profile=txn.profile,
+        payload=chunk,
+    )
+    reads_from = {chunk.src: frozenset(moved)} if moved else {}
+    return TxnPlan(
+        txn=effective,
+        masters=(chunk.dst,),
+        reads_from=reads_from,
+        migrations=migrations,
+        evictions=tuple(evictions),
+    )
+
+
+def split_system_txns(
+    batch: Batch, view: ClusterView
+) -> tuple[list[Transaction], list[TxnPlan], list[Transaction]]:
+    """Separate a batch into (user txns, topology plans, migration txns).
+
+    Applies TOPOLOGY changes to the view as they are encountered (they
+    are totally ordered, so every replica applies them identically) and
+    returns ready-made plans for them.  MIGRATION chunks are returned
+    un-planned so the router can order them (typically after user work).
+    """
+    user_txns: list[Transaction] = []
+    topology_plans: list[TxnPlan] = []
+    migration_txns: list[Transaction] = []
+    for txn in batch:
+        if txn.kind is TxnKind.TOPOLOGY:
+            view.set_active(tuple(txn.payload))
+            topology_plans.append(build_topology_plan(txn, view))
+        elif txn.kind is TxnKind.MIGRATION:
+            migration_txns.append(txn)
+        else:
+            user_txns.append(txn)
+    return user_txns, topology_plans, migration_txns

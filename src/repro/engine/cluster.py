@@ -1,0 +1,276 @@
+"""The simulated deterministic database cluster.
+
+Wires sequencer → router → lock manager → per-node executors into one
+runnable system.  Usage::
+
+    cluster = Cluster(config, router, static_partitioner)
+    cluster.load_data(range(num_keys))
+    cluster.submit(txn)                      # or use a workload driver
+    cluster.run_until(30_000_000)            # 30 simulated seconds
+    print(cluster.metrics.throughput_per_second(cluster.kernel.now))
+
+Determinism: the router is a pure function of the totally ordered input,
+lock requests enter the (logically replicated) lock manager in plan
+order, and every source of randomness lives in the workload generators.
+Two runs with the same submitted transactions produce identical final
+states — ``tests/integration/test_determinism.py`` asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import Batch, Key, NodeId, Transaction, TxnKind
+from repro.core.router import ClusterView, KeyOverlay, OwnershipView, Router
+from repro.engine.executor import TxnRuntime
+from repro.engine.locks import LockManager
+from repro.engine.metrics import ClusterMetrics
+from repro.engine.node import Node
+from repro.engine.sequencer import Sequencer
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.storage.partitioning import Partitioner
+from repro.storage.store import state_fingerprint
+from repro.storage.wal import Checkpoint, CommandLog
+
+
+class Cluster:
+    """A complete simulated deployment of one routing strategy."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        router: Router,
+        static_partitioner: Partitioner,
+        overlay: KeyOverlay | None = None,
+        active_nodes: Iterable[NodeId] | None = None,
+        stats_window_us: float = 1_000_000.0,
+        keep_command_log: bool = False,
+        validate_plans: bool = False,
+    ) -> None:
+        self.config = config
+        self.router = router
+        self.kernel = Kernel()
+        self.network = Network(self.kernel, config.costs)
+        self.metrics = ClusterMetrics(stats_window_us)
+        self.lock_manager = LockManager()
+        self.nodes: list[Node] = [
+            Node(self.kernel, node_id, config, stats_window_us)
+            for node_id in range(config.num_nodes)
+        ]
+        self.ownership = OwnershipView(static_partitioner, overlay)
+        actives = (
+            list(active_nodes)
+            if active_nodes is not None
+            else list(range(config.num_nodes))
+        )
+        for node in actives:
+            if not 0 <= node < config.num_nodes:
+                raise ConfigurationError(f"active node {node} out of range")
+        self.view = ClusterView(actives, self.ownership)
+        self.sequencer = Sequencer(
+            self.kernel, config.engine, config.costs, self._on_batch
+        )
+        self.command_log = CommandLog() if keep_command_log else None
+        self.validate_plans = validate_plans
+
+        self._next_seq = 0
+        self._next_txn_id = 0
+        self._unfinished = 0
+        self._scheduler_free_at = 0.0
+        self._commit_callbacks: dict[int, list[Callable]] = {}
+        self.epochs_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Data loading and client API
+    # ------------------------------------------------------------------
+
+    def load_data(self, keys: Iterable[Key]) -> None:
+        """Populate every record at its static home (version 0)."""
+        for key in keys:
+            home = self.ownership.static.home(key)
+            self.nodes[home].store.load(key)
+
+    def next_txn_id(self) -> int:
+        """Allocate a unique transaction id."""
+        self._next_txn_id += 1
+        return self._next_txn_id
+
+    def submit(
+        self, txn: Transaction, on_commit: Callable[[TxnRuntime], None] | None = None
+    ) -> None:
+        """Hand a transaction to the sequencer.
+
+        ``on_commit`` fires when the transaction commits (or aborts) —
+        the hook closed-loop clients use to issue their next request.
+        """
+        if on_commit is not None:
+            self._commit_callbacks.setdefault(txn.txn_id, []).append(on_commit)
+        self._unfinished += 1
+        if txn.is_system():
+            self.sequencer.submit_system(txn)
+        else:
+            self.sequencer.submit(txn)
+
+    def announce_topology(self, active_nodes: Iterable[NodeId]) -> Transaction:
+        """Issue the totally ordered topology-change transaction (§3.3)."""
+        txn = Transaction(
+            txn_id=self.next_txn_id(),
+            read_set=frozenset(),
+            write_set=frozenset(),
+            kind=TxnKind.TOPOLOGY,
+            arrival_time=self.kernel.now,
+            payload=tuple(sorted(active_nodes)),
+        )
+        self.submit(txn)
+        return txn
+
+    # ------------------------------------------------------------------
+    # Batch pipeline
+    # ------------------------------------------------------------------
+
+    def _on_batch(self, batch: Batch) -> None:
+        self.epochs_delivered += 1
+        self.metrics.batches += 1
+        if self.command_log is not None:
+            self.command_log.append(batch)
+        t_sequenced = self.kernel.now
+        routing_cost = self.router.routing_cost_us(len(batch), self.config.costs)
+        # Every scheduler replica runs the routing algorithm.
+        for node_id in self.view.active_nodes:
+            self.nodes[node_id].workers.charge_background_cpu(routing_cost)
+        plan = self.router.route_batch(batch, self.view)
+        if self.validate_plans:
+            plan.validate(batch.ids())
+        # The scheduler is a serial resource: batch k+1's routing starts
+        # only after batch k's finishes.  When routing cost approaches the
+        # epoch length (very large batches under prescient routing), the
+        # scheduler itself becomes the bottleneck — the downslope of the
+        # paper's Figure 10.
+        start = max(self.kernel.now, self._scheduler_free_at)
+        done = start + routing_cost
+        self._scheduler_free_at = done
+        self.kernel.call_later(done - self.kernel.now, self._dispatch,
+                               plan, t_sequenced)
+
+    def inject_batch(self, batch: Batch) -> None:
+        """Feed a pre-ordered batch directly (replay path, bypassing the
+        sequencer).  The batch's transactions are accounted as unfinished
+        so :meth:`run_until_quiescent` waits for them."""
+        self._unfinished += len(batch)
+        self._on_batch(batch)
+
+    def _dispatch(self, plan, t_sequenced: float) -> None:
+        now = self.kernel.now
+        for txn_plan in plan:
+            self._next_seq += 1
+            runtime = TxnRuntime(
+                cluster=self,
+                plan=txn_plan,
+                seq=self._next_seq,
+                t_sequenced=t_sequenced,
+                t_dispatched=now,
+                on_finished=self._runtime_finished,
+            )
+            for key, mode in runtime.lock_requests():
+                self.lock_manager.enqueue(
+                    runtime.seq,
+                    key,
+                    mode,
+                    self._make_grant_callback(runtime, key),
+                )
+            runtime.start()
+
+    @staticmethod
+    def _make_grant_callback(runtime: TxnRuntime, key: Key):
+        def granted() -> None:
+            runtime.on_lock_granted(key)
+
+        return granted
+
+    def _runtime_finished(self, runtime: TxnRuntime) -> None:
+        self._unfinished -= 1
+        callbacks = self._commit_callbacks.pop(runtime.txn.txn_id, ())
+        for callback in callbacks:
+            callback(runtime)
+
+    # ------------------------------------------------------------------
+    # Running and inspection
+    # ------------------------------------------------------------------
+
+    def run_until(self, t_end: float) -> None:
+        """Advance simulated time to ``t_end`` microseconds."""
+        self.kernel.run_until(t_end)
+
+    def run_until_quiescent(
+        self, max_time_us: float, poll_us: float = 100_000.0
+    ) -> float:
+        """Run until all submitted work commits (or ``max_time_us``).
+
+        Returns the simulated time at which the system drained.  Used by
+        tests and by replay, where the input stream is finite.
+        """
+        while self.kernel.now < max_time_us:
+            step = min(poll_us, max_time_us - self.kernel.now)
+            self.kernel.run_until(self.kernel.now + step)
+            if self._unfinished == 0:
+                return self.kernel.now
+        return self.kernel.now
+
+    @property
+    def inflight(self) -> int:
+        """Transactions submitted but not yet finished."""
+        return self._unfinished
+
+    def state_fingerprint(self) -> int:
+        """Order-independent hash of all record versions and values."""
+        return state_fingerprint([node.store for node in self.nodes])
+
+    def placement_snapshot(self) -> dict[NodeId, frozenset[Key]]:
+        """Which node physically holds which keys (determinism checks)."""
+        return {
+            node.node_id: frozenset(node.store.keys()) for node in self.nodes
+        }
+
+    def total_records(self) -> int:
+        """Records across all stores (conservation check)."""
+        return sum(len(node.store) for node in self.nodes)
+
+    def checkpoint(self) -> Checkpoint:
+        """Capture a consistent snapshot tagged with the last epoch.
+
+        Call this only when the cluster is quiescent (no in-flight
+        transactions); a checkpoint mid-flight would not be consistent
+        with any batch boundary.
+        """
+        if self._unfinished:
+            raise ConfigurationError(
+                "checkpoint requires a quiescent cluster; "
+                f"{self._unfinished} transactions in flight"
+            )
+        return Checkpoint.capture(
+            self.epochs_delivered, [node.store for node in self.nodes]
+        )
+
+    # -- resource usage (Figure 8) ----------------------------------------
+
+    def cpu_utilization(self, until: float) -> float:
+        """Mean CPU busy fraction across active nodes since time 0."""
+        if until <= 0:
+            return 0.0
+        total_busy = sum(
+            self.nodes[n].workers.busy_us_total for n in self.view.active_nodes
+        )
+        capacity = (
+            until
+            * len(self.view.active_nodes)
+            * self.config.engine.workers_per_node
+        )
+        return total_busy / capacity if capacity else 0.0
+
+    def network_bytes_per_commit(self) -> float:
+        """Mean bytes on the wire per committed transaction."""
+        commits = max(1, self.metrics.commits)
+        return self.network.total_bytes() / commits

@@ -1,0 +1,538 @@
+"""Transaction execution: one :class:`TxnRuntime` per routed transaction.
+
+The runtime follows the deterministic execution flow of Section 2.1,
+generalized so one engine executes every strategy's plans:
+
+1. Lock requests for all keys enter the conservative ordered lock
+   manager in plan order (done by the scheduler, see ``cluster.py``).
+2. At every node holding some of the transaction's records (a *serve
+   location*), once the local locks are granted a worker reads the local
+   records and ships them to the master(s).  Records the plan migrates
+   leave the source store at this moment and travel inside the message.
+3. Each master waits for its local reads plus every remote message, then
+   a worker runs the transaction logic, installs migrated-in records,
+   and applies local writes (with undo logging).  The coordinator master
+   commits the transaction.
+4. Post-commit, the coordinator pushes write-backs (G-Store/T-Part
+   returning records home) and fusion-table evictions (records going
+   back to their static homes) — these never delay the commit, matching
+   Sections 3.2/4.1.
+
+Lock release points are per key: plain reads release after serving,
+written/migrated keys release at their writer's commit, written-back and
+evicted keys release once re-installed at their destination.  Those
+release points are what make the physical record locations always agree
+with the router's deterministic ownership view.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.types import Key, NodeId, TxnKind
+from repro.core.plan import TxnPlan
+from repro.engine.locks import LockMode
+from repro.sim.kernel import SimEvent
+from repro.storage.store import Record
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.cluster import Cluster
+
+#: Fixed size of a control message without record payload.
+CONTROL_BYTES = 64
+
+# Release stages, in increasing precedence: a key involved in several
+# actions releases at the latest-stage action.
+_STAGE_READ = 0
+_STAGE_COMMIT = 1
+_STAGE_WRITEBACK = 2
+_STAGE_EVICT = 3
+
+
+class _LockGroup:
+    """All lock requests a particular node-part waits on."""
+
+    __slots__ = ("keys", "remaining", "event", "granted_at")
+
+    def __init__(self, keys: frozenset[Key], event: SimEvent) -> None:
+        self.keys = keys
+        self.remaining = len(keys)
+        self.event = event
+        self.granted_at: float | None = None
+
+
+class TxnRuntime:
+    """Drives one transaction's plan through the simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        plan: TxnPlan,
+        seq: int,
+        t_sequenced: float,
+        t_dispatched: float,
+        on_finished: Callable[["TxnRuntime"], None],
+    ) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.txn = plan.txn
+        self.seq = seq
+        self.t_sequenced = t_sequenced
+        self.t_dispatched = t_dispatched
+        self.on_finished = on_finished
+        self.committed = False
+        self.aborted = False
+
+        kernel = cluster.kernel
+        self.coordinator = plan.coordinator
+
+        # -- classify keys: lock mode and release stage ---------------------
+        self._release_stage: dict[Key, int] = {}
+        self._lock_mode: dict[Key, LockMode] = {}
+        migrated_keys = {m.key for m in plan.migrations}
+        for key in self.txn.full_set:
+            exclusive = key in self.txn.write_set or key in migrated_keys
+            self._lock_mode[key] = LockMode.X if exclusive else LockMode.S
+            if key in self.txn.write_set or key in migrated_keys:
+                self._release_stage[key] = _STAGE_COMMIT
+            else:
+                self._release_stage[key] = _STAGE_READ
+        for move in plan.writebacks:
+            self._lock_mode[move.key] = LockMode.X
+            self._release_stage[move.key] = _STAGE_WRITEBACK
+        for move in plan.evictions:
+            self._lock_mode[move.key] = LockMode.X
+            self._release_stage[move.key] = _STAGE_EVICT
+
+        # -- lock groups per serve location ---------------------------------
+        self._groups: dict[NodeId, _LockGroup] = {}
+        for loc, keys in plan.reads_from.items():
+            if keys:
+                self._groups[loc] = _LockGroup(
+                    keys, kernel.event(f"locks:{self.txn.txn_id}@{loc}")
+                )
+        eviction_keys = frozenset(m.key for m in plan.evictions)
+        self._evict_group: _LockGroup | None = None
+        if eviction_keys:
+            self._evict_group = _LockGroup(
+                eviction_keys, kernel.event(f"evlocks:{self.txn.txn_id}")
+            )
+
+        # -- data-ready events per master ------------------------------------
+        self._migrated_by_src: dict[NodeId, list] = {}
+        for move in plan.migrations:
+            self._migrated_by_src.setdefault(move.src, []).append(move)
+        self._expected_from: dict[NodeId, set[NodeId]] = {}
+        for master in plan.masters:
+            self._expected_from[master] = {
+                loc for loc in plan.reads_from if loc != master
+            }
+        self._data_ready: dict[NodeId, SimEvent] = {
+            master: kernel.event(f"data:{self.txn.txn_id}@{master}")
+            for master in plan.masters
+        }
+        self._inbox: dict[NodeId, list[Record]] = {m: [] for m in plan.masters}
+        self._values: dict[NodeId, dict[Key, int]] = {
+            m: {} for m in plan.masters
+        }
+        self._serve_done: dict[NodeId, float] = {}
+        self._masters_pending = len(plan.masters)
+        self.will_abort = plan.txn.aborts
+
+        # -- latency probe timestamps at the coordinator ---------------------
+        self.t_locks: float | None = None
+        self.t_serve_done: float | None = None
+        self.t_data: float | None = None
+        self.t_commit: float | None = None
+        self._coord_serve_cpu = 0.0
+        self._coord_apply_cpu = 0.0
+        self._coord_logic_cpu = 0.0
+
+        self.commit_event = kernel.event(f"commit:{self.txn.txn_id}")
+
+    # ------------------------------------------------------------------
+    # Lock plumbing (called by the cluster's scheduler)
+    # ------------------------------------------------------------------
+
+    def lock_requests(self) -> list[tuple[Key, LockMode]]:
+        """Every (key, mode) this transaction must enqueue, deduplicated."""
+        return sorted(
+            self._lock_mode.items(), key=lambda item: repr(item[0])
+        )
+
+    def on_lock_granted(self, key: Key) -> None:
+        """Callback from the lock manager; routes the grant to groups."""
+        for group in self._group_candidates():
+            if key in group.keys:
+                group.remaining -= 1
+                if group.remaining == 0:
+                    group.granted_at = self.cluster.kernel.now
+                    group.event.trigger()
+
+    def _group_candidates(self):
+        yield from self._groups.values()
+        if self._evict_group is not None:
+            yield self._evict_group
+
+    # ------------------------------------------------------------------
+    # Launch: one process per serve location and per master
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        kernel = self.cluster.kernel
+        for loc in self.plan.reads_from:
+            if self.plan.reads_from[loc]:
+                kernel.process(
+                    self._serve_part(loc), name=f"serve:{self.txn.txn_id}@{loc}"
+                )
+        for master in self.plan.masters:
+            kernel.process(
+                self._master_part(master),
+                name=f"master:{self.txn.txn_id}@{master}",
+            )
+
+    # ------------------------------------------------------------------
+    # Phase: serve local reads at one location
+    # ------------------------------------------------------------------
+
+    def _serve_part(self, loc: NodeId):
+        cluster = self.cluster
+        group = self._groups[loc]
+        yield group.event
+        if loc == self.coordinator and self.t_locks is None:
+            self.t_locks = group.granted_at
+
+        keys = group.keys
+        costs = cluster.config.costs
+        cpu = costs.local_access_us * len(keys)
+        done = cluster.kernel.event(f"served:{self.txn.txn_id}@{loc}")
+        cluster.nodes[loc].workers.submit(cpu, lambda: done.trigger())
+        yield done
+
+        self._serve_done[loc] = cluster.kernel.now
+        if loc == self.coordinator:
+            self.t_serve_done = cluster.kernel.now
+            self._coord_serve_cpu += cpu
+
+        # Physically detach records that migrate away from this location.
+        migrating = [
+            move for move in self._migrated_by_src.get(loc, ()) if move.src == loc
+        ]
+        migrating_keys = {move.key for move in migrating}
+        store = cluster.nodes[loc].store
+        values: dict[Key, int] = {}
+        records = []
+        for move in migrating:
+            record = store.evict(move.key)
+            values[move.key] = record.value
+            records.append(record)
+        if migrating:
+            cluster.nodes[loc].records_migrated_out += len(migrating)
+        # Read (and sanity-check) every non-migrating key's value.
+        for key in keys:
+            if key not in migrating_keys:
+                values[key] = store.read(key).value
+
+        record_bytes = self.txn.profile.record_bytes
+        payload = CONTROL_BYTES + record_bytes * len(keys)
+        for master in self.plan.masters:
+            if master == loc:
+                continue
+            shipped = records if master == self.coordinator else []
+            cluster.network.send(
+                loc,
+                master,
+                payload,
+                self._make_delivery(master, loc, shipped, values),
+            )
+            cluster.metrics.remote_reads += len(keys)
+
+        # The master's own serve completion also feeds its data-ready gate.
+        if loc in self.plan.masters:
+            self._note_data(loc, loc, records, values)
+
+        self._release_stage_keys(loc, keys, _STAGE_READ)
+
+    def _make_delivery(
+        self,
+        master: NodeId,
+        loc: NodeId,
+        records: list[Record],
+        values: dict[Key, int],
+    ):
+        def deliver() -> None:
+            self._note_data(master, loc, records, values)
+
+        return deliver
+
+    def _note_data(
+        self,
+        master: NodeId,
+        loc: NodeId,
+        records: list[Record],
+        values: dict[Key, int],
+    ) -> None:
+        self._inbox[master].extend(records)
+        self._values[master].update(values)
+        expected = self._expected_from[master]
+        expected.discard(loc)
+        self._maybe_data_ready(master)
+
+    def _maybe_data_ready(self, master: NodeId) -> None:
+        needs_own = (
+            master in self.plan.reads_from
+            and bool(self.plan.reads_from[master])
+            and master not in self._serve_done
+        )
+        if not self._expected_from[master] and not needs_own:
+            event = self._data_ready[master]
+            if not event.triggered:
+                event.trigger()
+
+    # ------------------------------------------------------------------
+    # Phase: master execution (logic + writes + commit)
+    # ------------------------------------------------------------------
+
+    def _master_part(self, master: NodeId):
+        cluster = self.cluster
+        costs = cluster.config.costs
+
+        group = self._groups.get(master)
+        if group is not None:
+            yield group.event
+        if master == self.coordinator and self.t_locks is None:
+            self.t_locks = (
+                group.granted_at if group is not None else self.t_dispatched
+            )
+
+        self._maybe_data_ready(master)
+        yield self._data_ready[master]
+        if master == self.coordinator:
+            self.t_data = cluster.kernel.now
+
+        txn = self.txn
+        incoming = self._inbox[master]
+        local_writes = self.plan.writes_at.get(master, frozenset())
+        logic_cpu = (
+            costs.logic_us_per_record * txn.size * txn.profile.logic_factor
+        )
+        apply_cpu = (
+            costs.local_access_us * len(local_writes)
+            + costs.migration_apply_us * len(incoming)
+        )
+        if txn.aborts:
+            apply_cpu += costs.local_access_us * len(local_writes)
+
+        done = cluster.kernel.event(f"executed:{txn.txn_id}@{master}")
+        cluster.nodes[master].workers.submit(
+            logic_cpu + apply_cpu, lambda: done.trigger()
+        )
+        yield done
+
+        node = cluster.nodes[master]
+        for record in incoming:
+            node.store.install(record)
+        node.records_migrated_in += len(incoming)
+
+        # OLLP footprint validation (Section 2.1): re-derive the
+        # transaction's footprint from the *locked* read-set values; a
+        # mismatch means the reconnaissance prediction went stale and the
+        # transaction deterministically aborts (to be re-run by OLLP).
+        # Every master evaluates the same locked values, so they agree.
+        if txn.validator is not None and not self.will_abort:
+            if not txn.validator(self._make_value_reader(master)):
+                self.will_abort = True
+
+        for key in sorted(local_writes, key=repr):
+            pre_image = node.store.write(key, txn.txn_id)
+            node.undo_log.save(txn.txn_id, pre_image)
+        if self.will_abort:
+            node.undo_log.rollback(txn.txn_id, node.store)
+        else:
+            node.undo_log.forget(txn.txn_id)
+
+        if master == self.coordinator:
+            self._coord_logic_cpu = logic_cpu
+            self._coord_apply_cpu = apply_cpu
+            self._commit()
+
+        release_keys = set(local_writes)
+        release_keys.update(r.key for r in incoming)
+        owned_here = self.plan.reads_from.get(master, frozenset())
+        release_keys.update(
+            k
+            for k in owned_here
+            if self._release_stage.get(k) == _STAGE_COMMIT
+        )
+        self._release_stage_keys(master, frozenset(release_keys), _STAGE_COMMIT)
+
+    # ------------------------------------------------------------------
+    # Commit and post-commit work (coordinator only)
+    # ------------------------------------------------------------------
+
+    def _make_value_reader(self, master: NodeId):
+        """value_of(key) over the transaction's locked footprint at a
+        master: local keys from the store, remote keys from the shipped
+        read values.  Reading outside the footprint raises — OLLP
+        validators may only depend on locked data, or determinism under
+        replay would be lost."""
+        store = self.cluster.nodes[master].store
+        remote = self._values[master]
+        footprint = self.txn.full_set
+
+        def value_of(key: Key) -> int:
+            if key not in footprint:
+                raise KeyError(
+                    f"OLLP validator read {key!r} outside the locked "
+                    f"footprint of txn {self.txn.txn_id}"
+                )
+            if key in remote:
+                return remote[key]
+            return store.read(key).value
+
+        return value_of
+
+    def _commit(self) -> None:
+        cluster = self.cluster
+        self.t_commit = cluster.kernel.now
+        if self.will_abort:
+            self.aborted = True
+            cluster.metrics.aborts += 1
+        else:
+            self.committed = True
+            cluster.nodes[self.coordinator].commits += 1
+            if not self.txn.is_system():
+                cluster.metrics.note_commit(self)
+        self.commit_event.trigger(self)
+        self._start_writebacks()
+        self._start_evictions()
+        self.on_finished(self)
+
+    def _start_writebacks(self) -> None:
+        cluster = self.cluster
+        by_dst: dict[NodeId, list] = {}
+        for move in self.plan.writebacks:
+            by_dst.setdefault(move.dst, []).append(move)
+        record_bytes = self.txn.profile.record_bytes
+        for dst, moves in sorted(by_dst.items()):
+            records = [
+                cluster.nodes[self.coordinator].store.evict(move.key)
+                for move in moves
+            ]
+            cluster.nodes[self.coordinator].records_migrated_out += len(moves)
+            payload = CONTROL_BYTES + record_bytes * len(moves)
+            cluster.network.send(
+                self.coordinator,
+                dst,
+                payload,
+                self._make_writeback_install(dst, records),
+            )
+            cluster.metrics.writebacks += len(moves)
+
+    def _make_writeback_install(self, dst: NodeId, records: list[Record]):
+        def arrived() -> None:
+            cluster = self.cluster
+            cpu = cluster.config.costs.migration_apply_us * len(records)
+
+            def installed() -> None:
+                node = cluster.nodes[dst]
+                for record in records:
+                    node.store.install(record)
+                node.records_migrated_in += len(records)
+                self._release_stage_keys(
+                    dst,
+                    frozenset(r.key for r in records),
+                    _STAGE_WRITEBACK,
+                )
+
+            cluster.nodes[dst].workers.submit(cpu, installed)
+
+        return arrived
+
+    def _start_evictions(self) -> None:
+        if not self.plan.evictions:
+            return
+        cluster = self.cluster
+
+        def launch(_value=None) -> None:
+            by_route: dict[tuple[NodeId, NodeId], list] = {}
+            for move in self.plan.evictions:
+                by_route.setdefault((move.src, move.dst), []).append(move)
+            for (src, dst), moves in sorted(by_route.items()):
+                self._send_eviction(src, dst, moves)
+
+        assert self._evict_group is not None
+        self._evict_group.event.add_waiter(launch)
+
+    def _send_eviction(self, src: NodeId, dst: NodeId, moves: list) -> None:
+        cluster = self.cluster
+        costs = cluster.config.costs
+        record_bytes = self.txn.profile.record_bytes
+
+        def read_done() -> None:
+            records = [cluster.nodes[src].store.evict(m.key) for m in moves]
+            cluster.nodes[src].records_migrated_out += len(moves)
+            payload = CONTROL_BYTES + record_bytes * len(moves)
+
+            def arrived() -> None:
+                cpu = costs.migration_apply_us * len(records)
+
+                def installed() -> None:
+                    node = cluster.nodes[dst]
+                    for record in records:
+                        node.store.install(record)
+                    node.records_migrated_in += len(records)
+                    self._release_stage_keys(
+                        dst,
+                        frozenset(r.key for r in records),
+                        _STAGE_EVICT,
+                    )
+
+                cluster.nodes[dst].workers.submit(cpu, installed)
+
+            cluster.network.send(src, dst, payload, arrived)
+            cluster.metrics.evictions += len(moves)
+
+        cluster.nodes[src].workers.submit(
+            costs.local_access_us * len(moves), read_done
+        )
+
+    # ------------------------------------------------------------------
+    # Lock release
+    # ------------------------------------------------------------------
+
+    def _release_stage_keys(
+        self, node: NodeId, keys: frozenset[Key], stage: int
+    ) -> None:
+        for key in sorted(keys, key=repr):
+            if self._release_stage.get(key) == stage:
+                self.cluster.lock_manager.release(self.seq, key)
+
+    # ------------------------------------------------------------------
+    # Latency breakdown (Figure 7 buckets)
+    # ------------------------------------------------------------------
+
+    def latency_stages(self) -> dict[str, float]:
+        """Additive per-stage latency at the coordinator, in microseconds."""
+        t0 = self.t_sequenced
+        t1 = self.t_dispatched
+        t2 = self.t_locks if self.t_locks is not None else t1
+        t3 = self.t_serve_done if self.t_serve_done is not None else t2
+        t4 = self.t_data if self.t_data is not None else t3
+        t6 = self.t_commit if self.t_commit is not None else t4
+        exec_span = max(0.0, t6 - t4)
+        logic_and_queue = max(0.0, exec_span - self._coord_apply_cpu)
+        return {
+            "scheduling": max(0.0, t1 - t0),
+            "lock_wait": max(0.0, t2 - t1),
+            "local_storage": max(0.0, t3 - t2)
+            + min(self._coord_apply_cpu, exec_span),
+            "remote_wait": max(0.0, t4 - t3),
+            "other": logic_and_queue,
+        }
+
+    def total_latency(self) -> float:
+        """Client-perceived latency: arrival to commit."""
+        if self.t_commit is None:
+            return 0.0
+        return self.t_commit - self.txn.arrival_time

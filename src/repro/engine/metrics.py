@@ -1,0 +1,86 @@
+"""Cluster-wide metric collection.
+
+One :class:`ClusterMetrics` instance aggregates everything the paper's
+figures need: committed transactions per window (throughput curves),
+latency breakdowns (Figure 7), remote-read / migration / write-back
+counters, and — via the nodes' worker pools and the network — CPU and
+network usage (Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.sim.stats import LatencyBreakdown, TimeSeries, WindowedRate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import TxnRuntime
+
+
+class ClusterMetrics:
+    """Counters and series for one simulation run."""
+
+    def __init__(self, window_us: float) -> None:
+        self.window_us = window_us
+        self.commit_rate = WindowedRate("commits", window_us)
+        self.latency = LatencyBreakdown()
+        self.total_latency_sum = 0.0
+        self._latencies: list[float] = []
+        self.commits = 0
+        self.aborts = 0
+        self.remote_reads = 0
+        self.writebacks = 0
+        self.evictions = 0
+        self.batches = 0
+        self.warmup_until = 0.0
+
+    def note_commit(self, runtime: "TxnRuntime") -> None:
+        """Record one committed user transaction."""
+        now = runtime.t_commit
+        assert now is not None
+        self.commit_rate.record(now)
+        if now >= self.warmup_until:
+            self.commits += 1
+            self.latency.record(runtime.latency_stages())
+            total = runtime.total_latency()
+            self.total_latency_sum += total
+            self._latencies.append(total)
+
+    def mean_latency_us(self) -> float:
+        """Mean client-perceived latency over post-warm-up commits."""
+        if self.commits == 0:
+            return 0.0
+        return self.total_latency_sum / self.commits
+
+    def throughput_series(self, until: float) -> TimeSeries:
+        """Committed transactions per window (the paper's y-axis)."""
+        return self.commit_rate.series(until)
+
+    def throughput_per_second(self, until: float) -> float:
+        """Mean commits per simulated second after warm-up."""
+        span_us = until - self.warmup_until
+        if span_us <= 0:
+            return 0.0
+        return self.commits / (span_us / 1e6)
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Client-perceived latency percentile in microseconds.
+
+        Nearest-rank method over post-warm-up commits: the value at rank
+        ``ceil(q·n)``.  Returns 0.0 before any commit is recorded.
+        """
+        return self.latency_percentiles((quantile,))[quantile]
+
+    def latency_percentiles(
+        self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[float, float]:
+        """Several nearest-rank percentiles at once (sorted once)."""
+        for q in quantiles:
+            if not 0 < q <= 1:
+                raise ValueError("quantile must be in (0, 1]")
+        if not self._latencies:
+            return {q: 0.0 for q in quantiles}
+        ordered = sorted(self._latencies)
+        n = len(ordered)
+        return {q: ordered[max(0, math.ceil(q * n) - 1)] for q in quantiles}

@@ -1,0 +1,179 @@
+"""Multi-datacenter replication by determinism (Section 2.1, Figure 4).
+
+Calvin-family systems replicate *input*, not effects: every data center
+holds a full copy of the database and consumes the same totally ordered
+transaction stream.  Because routing and execution are deterministic,
+replicas converge to identical states without any cross-replica
+agreement beyond the sequencing layer — this is what removes 2PC and
+lets a replica take over instantly on failure.
+
+:class:`ReplicatedDeployment` models that architecture: one primary
+:class:`Cluster` plus N replica clusters, all built identically.  Each
+sequenced batch is forwarded to every replica after a configurable WAN
+delay (replicas *lag*, they never diverge).  The deployment exposes:
+
+* ``submit`` — client entry point (to the primary's sequencer);
+* ``converged`` / ``divergence_report`` — consistency checks;
+* ``fail_over`` — declare the primary dead and promote a replica: the
+  promoted cluster finishes replaying whatever input it has already
+  received and simply continues; clients lose only the transactions
+  whose batches had not yet been forwarded (the paper's availability
+  story — bounded by the WAN forwarding delay, with no recovery replay
+  needed at the survivor).
+
+All replicas run in one simulation kernel-per-cluster; time is advanced
+in lock-step by :meth:`run_until` so WAN lag is modelled faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import Batch, Transaction
+from repro.engine.cluster import Cluster
+
+
+class ReplicatedDeployment:
+    """A primary cluster plus deterministic replicas across the WAN."""
+
+    def __init__(
+        self,
+        build_cluster: Callable[[], Cluster],
+        num_replicas: int = 1,
+        wan_delay_us: float = 50_000.0,
+    ) -> None:
+        if num_replicas < 1:
+            raise ConfigurationError("need at least one replica")
+        if wan_delay_us < 0:
+            raise ConfigurationError("wan_delay_us must be >= 0")
+        self.wan_delay_us = wan_delay_us
+        self.primary = build_cluster()
+        self.replicas = [build_cluster() for _ in range(num_replicas)]
+        self.forwarded_batches = 0
+        self._failed_over = False
+        self._install_forwarding()
+
+    # ------------------------------------------------------------------
+    # Input replication
+    # ------------------------------------------------------------------
+
+    def _install_forwarding(self) -> None:
+        """Tee the primary's sequenced batches to every replica.
+
+        Installed on the sequencer's delivery callback (the sequencer
+        holds the only reference that matters), wrapping the primary's
+        normal batch pipeline.
+        """
+        original_deliver = self.primary.sequencer.deliver
+
+        def forwarding_deliver(batch: Batch) -> None:
+            original_deliver(batch)
+            self.forwarded_batches += 1
+            for replica in self.replicas:
+                # Deliver the same ordered batch after the WAN delay.  A
+                # copy of the txn list isolates replica-side mutation.
+                clone = Batch(epoch=batch.epoch, txns=list(batch.txns))
+                replica.kernel.call_later(
+                    max(0.0, self.primary.kernel.now + self.wan_delay_us
+                        - replica.kernel.now),
+                    replica.inject_batch,
+                    clone,
+                )
+
+        self.primary.sequencer.deliver = forwarding_deliver
+
+    def submit(self, txn: Transaction, on_commit=None) -> None:
+        """Client entry point: submit to the (current) primary."""
+        if self._failed_over:
+            raise SimulationError(
+                "deployment already failed over; submit to the promotion "
+                "result instead"
+            )
+        self.primary.submit(txn, on_commit=on_commit)
+
+    # ------------------------------------------------------------------
+    # Time and consistency
+    # ------------------------------------------------------------------
+
+    def run_until(self, t_end: float, step_us: float = 10_000.0) -> None:
+        """Advance every cluster's kernel to ``t_end`` in lock-step.
+
+        Stepping keeps the WAN forwarding causal: a batch sequenced by
+        the primary inside one step is delivered to replicas in a later
+        step (the delay is at least one step when ``wan_delay_us`` > 0).
+        """
+        clusters = [self.primary, *self.replicas]
+        now = max(c.kernel.now for c in clusters)
+        while now < t_end:
+            now = min(now + step_us, t_end)
+            for cluster in clusters:
+                cluster.kernel.run_until(now)
+
+    def drain(self, max_time_us: float, step_us: float = 10_000.0) -> None:
+        """Run until the primary and all replicas are quiescent.
+
+        Quiescence requires epoch parity: a batch forwarded but still in
+        WAN flight makes a replica look idle while work is pending, so
+        replicas must have received every epoch the primary delivered.
+        """
+        clusters = [self.primary, *self.replicas]
+        now = max(c.kernel.now for c in clusters)
+        while now < max_time_us:
+            idle = all(c.inflight == 0 for c in clusters)
+            caught_up = all(
+                r.epochs_delivered == self.primary.epochs_delivered
+                for r in self.replicas
+            )
+            if idle and caught_up and self.primary.sequencer.backlog == 0:
+                return
+            now = min(now + step_us, max_time_us)
+            for cluster in clusters:
+                cluster.kernel.run_until(now)
+        raise SimulationError("replicated deployment failed to drain")
+
+    def converged(self) -> bool:
+        """Whether every replica matches the primary bit for bit."""
+        reference = self.primary.state_fingerprint()
+        placement = self.primary.placement_snapshot()
+        for replica in self.replicas:
+            if replica.state_fingerprint() != reference:
+                return False
+            if replica.placement_snapshot() != placement:
+                return False
+        return True
+
+    def divergence_report(self) -> list[str]:
+        """Human-readable description of any replica divergence."""
+        problems: list[str] = []
+        reference = self.primary.state_fingerprint()
+        for index, replica in enumerate(self.replicas):
+            if replica.state_fingerprint() != reference:
+                problems.append(
+                    f"replica {index}: fingerprint mismatch "
+                    f"({replica.state_fingerprint():#x} != {reference:#x})"
+                )
+            behind = self.primary.epochs_delivered - replica.epochs_delivered
+            if behind:
+                problems.append(f"replica {index}: {behind} epochs behind")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def fail_over(self, replica_index: int = 0) -> Cluster:
+        """Kill the primary; promote a replica.
+
+        The promoted replica already holds every forwarded batch in its
+        own pipeline — it needs *no* recovery protocol, only to finish
+        executing what it has (determinism guarantees it reaches exactly
+        the state the primary reached for those batches).  Returns the
+        promoted cluster; the caller resumes submitting to it.
+        """
+        if not 0 <= replica_index < len(self.replicas):
+            raise ConfigurationError(f"no replica {replica_index}")
+        self._failed_over = True
+        promoted = self.replicas[replica_index]
+        return promoted

@@ -1,0 +1,78 @@
+"""The sequencing layer: client requests → totally ordered batches.
+
+Models Calvin's sequencer tier (Figure 4(a)): requests accumulate for one
+*epoch*, then the epoch's requests become a batch, the batch is assigned
+the next global epoch number (the total order), and — after a fixed
+ordering latency standing in for the Zab/Paxos round — the batch is
+delivered to every scheduler replica at once.
+
+System transactions (topology changes, migration chunks) enter the same
+stream via :meth:`submit_system`, giving them the total-order position
+Section 3.3 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import CostModel, EngineConfig
+from repro.common.types import Batch, Transaction
+from repro.sim.kernel import Kernel
+
+
+class Sequencer:
+    """Epoch-based batching with a fixed total-ordering latency."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        engine_config: EngineConfig,
+        costs: CostModel,
+        deliver: Callable[[Batch], None],
+    ) -> None:
+        self.kernel = kernel
+        self.config = engine_config
+        self.costs = costs
+        self.deliver = deliver
+        self._pending: list[Transaction] = []
+        self._priority: list[Transaction] = []
+        self._epoch = 0
+        self.submitted = 0
+        kernel.call_later(engine_config.epoch_us, self._cut_batch)
+
+    def submit(self, txn: Transaction) -> None:
+        """Enqueue a client transaction for the next batch."""
+        self._pending.append(txn)
+        self.submitted += 1
+
+    def submit_system(self, txn: Transaction) -> None:
+        """Enqueue a system transaction at the *front* of the next batch.
+
+        Topology markers must precede the user transactions they govern
+        so every scheduler replica switches topology at the same point in
+        the total order.
+        """
+        self._priority.append(txn)
+        self.submitted += 1
+
+    @property
+    def backlog(self) -> int:
+        """Transactions accepted but not yet sequenced."""
+        return len(self._pending) + len(self._priority)
+
+    def _cut_batch(self) -> None:
+        capacity = self.config.max_batch_size
+        take_priority = self._priority[:capacity]
+        self._priority = self._priority[len(take_priority):]
+        room = capacity - len(take_priority)
+        take_pending = self._pending[:room]
+        self._pending = self._pending[len(take_pending):]
+
+        txns = take_priority + take_pending
+        if txns:
+            self._epoch += 1
+            batch = Batch(epoch=self._epoch, txns=txns)
+            self.kernel.call_later(
+                self.costs.sequencer_latency_us, self.deliver, batch
+            )
+        self.kernel.call_later(self.config.epoch_us, self._cut_batch)

@@ -1,0 +1,207 @@
+"""The discrete-event kernel: clock, event heap, and processes.
+
+Design notes
+------------
+* Events fire in ``(time, sequence)`` order.  The sequence number makes
+  simultaneous events fire in scheduling order, which keeps the whole
+  simulation deterministic without relying on heap implementation details.
+* A :class:`Process` wraps a generator.  The generator yields:
+    - ``Delay(dt)``      — resume after ``dt`` simulated microseconds,
+    - ``SimEvent``       — resume when the event is triggered; the
+      triggered value is sent back into the generator,
+    - ``AllOf(events)``  — resume when every listed event has triggered.
+  Returning from the generator completes the process's ``done`` event.
+* There is no pre-emption; a process runs until its next yield.  All
+  CPU-time accounting is therefore explicit ``Delay`` yields.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.common.errors import SimulationError
+
+
+class Delay:
+    """Yielded by a process to consume ``dt`` of simulated time."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float) -> None:
+        if dt < 0:
+            raise SimulationError(f"cannot delay by negative time {dt}")
+        self.dt = dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.dt})"
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    ``trigger(value)`` wakes every waiter and stores the value; waiting on
+    an already-triggered event resumes immediately with the stored value.
+    """
+
+    __slots__ = ("kernel", "_waiters", "triggered", "value", "name")
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters at the current time."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.kernel.call_soon(waiter, value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register a callback; fires immediately if already triggered."""
+        if self.triggered:
+            self.kernel.call_soon(callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"SimEvent({self.name!r}, {state})"
+
+
+class AllOf:
+    """Yielded by a process to wait for several events at once.
+
+    The process resumes with a list of the events' values, in the order
+    the events were given.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[SimEvent]) -> None:
+        self.events = list(events)
+
+
+class Process:
+    """A generator-based simulated process."""
+
+    __slots__ = ("kernel", "gen", "done", "name")
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        gen: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self.kernel = kernel
+        self.gen = gen
+        self.name = name
+        self.done = SimEvent(kernel, name=f"done:{name}")
+        kernel.call_soon(self._step, None)
+
+    def _step(self, value: Any) -> None:
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        if isinstance(yielded, Delay):
+            self.kernel.call_later(yielded.dt, self._step, None)
+        elif isinstance(yielded, SimEvent):
+            yielded.add_waiter(self._step)
+        elif isinstance(yielded, AllOf):
+            self._wait_all(yielded.events)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r}"
+            )
+
+    def _wait_all(self, events: list[SimEvent]) -> None:
+        if not events:
+            self.kernel.call_soon(self._step, [])
+            return
+        remaining = len(events)
+        results: list[Any] = [None] * len(events)
+
+        def make_waiter(index: int) -> Callable[[Any], None]:
+            def waiter(value: Any) -> None:
+                nonlocal remaining
+                results[index] = value
+                remaining -= 1
+                if remaining == 0:
+                    self._step(results)
+
+            return waiter
+
+        for i, event in enumerate(events):
+            event.add_waiter(make_waiter(i))
+
+
+class Kernel:
+    """Deterministic event loop with a simulated clock in microseconds."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------------
+
+    def call_later(self, dt: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``dt`` simulated microseconds."""
+        if dt < 0:
+            raise SimulationError(f"cannot schedule {dt} in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + dt, self._seq, fn, args))
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at the current time, after pending events."""
+        self.call_later(0.0, fn, *args)
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh one-shot event bound to this kernel."""
+        return SimEvent(self, name=name)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, gen, name=name)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_until(self, t_end: float) -> None:
+        """Advance simulated time to ``t_end``, firing all due events."""
+        if self._running:
+            raise SimulationError("kernel is already running")
+        self._running = True
+        try:
+            while self._heap and self._heap[0][0] <= t_end:
+                when, _seq, fn, args = heapq.heappop(self._heap)
+                self.now = when
+                fn(*args)
+            self.now = max(self.now, t_end)
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Run until no events remain."""
+        if self._running:
+            raise SimulationError("kernel is already running")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, fn, args = heapq.heappop(self._heap)
+                self.now = when
+                fn(*args)
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of events still queued (for tests and sanity checks)."""
+        return len(self._heap)

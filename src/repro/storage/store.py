@@ -1,0 +1,134 @@
+"""Per-node main-memory record store.
+
+Records carry a version counter and a value fingerprint rather than real
+payloads: the simulation never needs the bytes, but it *does* need to
+prove that every run reaches the same final state.  A write mixes the
+writing transaction's id into the value, so the cluster-wide
+:func:`state_fingerprint` changes if any run ever writes a different
+value, a different version, or places a record on a different node's
+store at a different time of migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StorageError
+from repro.common.types import Key, TxnId
+
+
+def _mix(value: int, txn_id: int) -> int:
+    """Deterministic 64-bit mix of the old value and the writer's id."""
+    x = (value * 0x100000001B3 + txn_id + 1) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 33
+    return x
+
+
+@dataclass(slots=True)
+class Record:
+    """One stored record: a version counter and a value fingerprint."""
+
+    key: Key
+    version: int = 0
+    value: int = 0
+
+    def copy(self) -> "Record":
+        return Record(self.key, self.version, self.value)
+
+
+class RecordStore:
+    """The record map of a single node.
+
+    The store tracks how many records it holds and exposes insert /
+    remove primitives used by migrations.  Reading a key that is not
+    present raises :class:`StorageError` — in a correct simulation that
+    means a router or migration lost track of ownership, and we want to
+    fail loudly rather than fabricate data.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._records: dict[Key, Record] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._records
+
+    def load(self, key: Key, value: int = 0) -> None:
+        """Populate a record at load time (version 0)."""
+        if key in self._records:
+            raise StorageError(f"key {key!r} already loaded on node {self.node_id}")
+        self._records[key] = Record(key=key, value=value)
+
+    def read(self, key: Key) -> Record:
+        """Return the live record (not a copy — versions are engine-owned)."""
+        record = self._records.get(key)
+        if record is None:
+            raise StorageError(f"node {self.node_id} does not hold key {key!r}")
+        return record
+
+    def write(self, key: Key, txn_id: TxnId) -> Record:
+        """Apply a write by ``txn_id``; returns the pre-image for undo."""
+        record = self.read(key)
+        pre_image = record.copy()
+        record.version += 1
+        record.value = _mix(record.value, txn_id)
+        return pre_image
+
+    def restore(self, pre_image: Record) -> None:
+        """Undo a write by restoring the saved pre-image."""
+        record = self._records.get(pre_image.key)
+        if record is None:
+            raise StorageError(
+                f"cannot restore {pre_image.key!r}: not on node {self.node_id}"
+            )
+        record.version = pre_image.version
+        record.value = pre_image.value
+
+    def evict(self, key: Key) -> Record:
+        """Remove and return a record (the sending side of a migration)."""
+        record = self._records.pop(key, None)
+        if record is None:
+            raise StorageError(f"node {self.node_id} cannot evict absent {key!r}")
+        return record
+
+    def install(self, record: Record) -> None:
+        """Insert a migrated record (the receiving side of a migration)."""
+        if record.key in self._records:
+            raise StorageError(
+                f"node {self.node_id} already holds {record.key!r}; "
+                "double migration detected"
+            )
+        self._records[record.key] = record
+
+    def keys(self):
+        """Iterate over held keys (order unspecified)."""
+        return self._records.keys()
+
+    def snapshot(self) -> dict[Key, Record]:
+        """Deep copy of the store, for checkpoints."""
+        return {k: r.copy() for k, r in self._records.items()}
+
+    def restore_snapshot(self, snap: dict[Key, Record]) -> None:
+        """Replace contents with a checkpoint's snapshot."""
+        self._records = {k: r.copy() for k, r in snap.items()}
+
+
+def state_fingerprint(stores: list[RecordStore]) -> int:
+    """Order-independent fingerprint of the whole cluster's data.
+
+    XORs a per-record hash of (key, version, value).  Deliberately does
+    *not* include which node holds the record: determinism in the paper's
+    sense is about record *values* converging, while placement legitimately
+    differs between routing strategies.  Placement determinism across two
+    runs of the *same* strategy is asserted separately in tests by
+    comparing per-node key sets.
+    """
+    fingerprint = 0
+    for store in stores:
+        for record in store._records.values():
+            h = hash((record.key, record.version, record.value))
+            fingerprint ^= h & 0xFFFFFFFFFFFFFFFF
+    return fingerprint

@@ -1,0 +1,43 @@
+"""Workload generators and client drivers for every experiment.
+
+* :mod:`repro.workloads.zipf` — Zipfian and moving two-sided Zipfian
+  key samplers (the paper's skew model).
+* :mod:`repro.workloads.google_trace` — synthetic Google cluster-usage
+  traces reproducing Figure 1's statistical features.
+* :mod:`repro.workloads.ycsb` — the paper's Google-YCSB workload
+  (Section 5.2.2) with configurable transaction-length distributions.
+* :mod:`repro.workloads.tpcc` — TPC-C New-Order/Payment with hot-spot
+  concentration (Section 5.3.1).
+* :mod:`repro.workloads.multitenant` — the moving-hot-spot multi-tenant
+  workload (Section 5.3.2) and its initial-partitioning variants.
+* :mod:`repro.workloads.base` — open-loop and closed-loop client
+  drivers.
+"""
+
+from repro.workloads.base import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    WorkloadGenerator,
+)
+from repro.workloads.google_trace import GoogleTraceConfig, SyntheticGoogleTrace
+from repro.workloads.multitenant import MultiTenantConfig, MultiTenantWorkload
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, tpcc_partitioner
+from repro.workloads.ycsb import GoogleYCSBWorkload, YCSBConfig
+from repro.workloads.zipf import MovingTwoSidedZipf, ZipfSampler
+
+__all__ = [
+    "ClosedLoopDriver",
+    "GoogleTraceConfig",
+    "GoogleYCSBWorkload",
+    "MovingTwoSidedZipf",
+    "MultiTenantConfig",
+    "MultiTenantWorkload",
+    "OpenLoopDriver",
+    "SyntheticGoogleTrace",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "WorkloadGenerator",
+    "YCSBConfig",
+    "ZipfSampler",
+    "tpcc_partitioner",
+]

@@ -1,0 +1,116 @@
+"""Zipfian key samplers.
+
+Two shapes cover every workload in the paper:
+
+* :class:`ZipfSampler` — classic Zipf over ``n`` items: item at rank r
+  has probability ∝ 1/r^θ.  Used for within-partition skew (YCSB, the
+  multi-tenant workload's θ=0.9 tenants).
+* :class:`MovingTwoSidedZipf` — a two-sided Zipfian over the whole
+  keyspace whose *peak drifts over time*, wrapping from the last key
+  back to the first.  This models the paper's "active users around the
+  world in 24 hours" global distribution for distributed transactions
+  (Section 5.2.2).
+
+CDFs are precomputed with numpy and shared across samplers through a
+module-level cache, so creating one sampler per partition is cheap.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+
+
+@lru_cache(maxsize=64)
+def _zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """Cumulative distribution of Zipf(θ) over ranks 1..n."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-theta)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with P(rank r) ∝ 1/(r+1)^θ."""
+
+    def __init__(self, n: int, theta: float, rng: DeterministicRNG) -> None:
+        if n < 1:
+            raise ConfigurationError("Zipf needs at least one item")
+        if theta < 0:
+            raise ConfigurationError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        self._cdf = _zipf_cdf(n, theta)
+
+    def sample(self) -> int:
+        """One rank in [0, n); rank 0 is the hottest item."""
+        u = self._rng.random()
+        return int(np.searchsorted(self._cdf, u, side="left"))
+
+    def sample_distinct(self, count: int) -> list[int]:
+        """``count`` distinct ranks (count must be << n for efficiency)."""
+        if count > self.n:
+            raise ConfigurationError(
+                f"cannot draw {count} distinct items from {self.n}"
+            )
+        seen: set[int] = set()
+        out: list[int] = []
+        while len(out) < count:
+            rank = self.sample()
+            if rank not in seen:
+                seen.add(rank)
+                out.append(rank)
+        return out
+
+
+class MovingTwoSidedZipf:
+    """Two-sided Zipfian over [0, n) with a time-drifting peak.
+
+    The probability of key k at time t is ∝ 1/(d+1)^θ where d is the
+    wrap-around distance between k and the current peak.  The peak moves
+    linearly across the keyspace with period ``cycle_us``, repeating —
+    mirroring the paper's global distribution whose peak travels "from
+    the first to the last record" to simulate the sun moving over a
+    worldwide user base.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        theta: float,
+        cycle_us: float,
+        rng: DeterministicRNG,
+        phase: float = 0.0,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError("keyspace must be non-empty")
+        if cycle_us <= 0:
+            raise ConfigurationError("cycle_us must be positive")
+        if not 0.0 <= phase < 1.0:
+            raise ConfigurationError("phase must be in [0, 1)")
+        self.n = n
+        self.theta = theta
+        self.cycle_us = cycle_us
+        self.phase = phase
+        self._rng = rng
+        # Distance distribution: one-sided Zipf over [0, n); the sampled
+        # distance is applied in a random direction around the peak.
+        self._distance = ZipfSampler(n, theta, rng.fork("distance"))
+
+    def peak_at(self, now_us: float) -> int:
+        """The hottest key at simulated time ``now_us``."""
+        fraction = (now_us / self.cycle_us + self.phase) % 1.0
+        return int(fraction * self.n) % self.n
+
+    def sample(self, now_us: float) -> int:
+        """One key, skewed around the current peak (wraparound)."""
+        distance = self._distance.sample()
+        if self._rng.random() < 0.5:
+            distance = -distance
+        return (self.peak_at(now_us) + distance) % self.n

@@ -1,0 +1,128 @@
+"""Tests for the plan-quality probe and overlay instrumentation."""
+
+import pytest
+
+from repro.analysis import (
+    InstrumentedOverlay,
+    PlanQualityProbe,
+    ascii_histogram,
+    reorder_displacement,
+)
+from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
+from repro.common.types import Batch, Transaction
+from repro.core.fusion_table import FusionTable
+from repro.core.prescient import PrescientRouter
+from repro.core.router import ClusterView, OwnershipView
+from repro.baselines.calvin import CalvinRouter
+from repro.engine.cluster import Cluster
+from repro.storage.partitioning import make_uniform_ranges
+
+
+def rw(txn_id, reads, writes):
+    return Transaction.read_write(txn_id, reads, writes)
+
+
+class TestReorderDisplacement:
+    def test_identity_is_zero(self):
+        assert reorder_displacement([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_full_reversal(self):
+        assert reorder_displacement([1, 2, 3], [3, 2, 1]) == pytest.approx(
+            4 / 3
+        )
+
+    def test_ignores_unknown_ids(self):
+        assert reorder_displacement([1, 2], [99, 1, 2]) == 1.0
+
+    def test_empty(self):
+        assert reorder_displacement([], []) == 0.0
+
+
+class TestPlanQualityProbe:
+    def make_view(self):
+        return ClusterView(
+            range(3), OwnershipView(make_uniform_ranges(300, 3))
+        )
+
+    def test_records_batch_quality(self):
+        probe = PlanQualityProbe(PrescientRouter())
+        view = self.make_view()
+        txns = [rw(i, [i * 30, (i * 30 + 150) % 300], [i * 30]) for i in range(6)]
+        probe.route_batch(Batch(1, txns), view)
+        assert len(probe.batches) == 1
+        quality = probe.batches[0]
+        assert quality.size == 6
+        assert quality.max_load >= quality.mean_load
+        assert quality.imbalance >= 1.0
+
+    def test_calvin_never_reorders(self):
+        probe = PlanQualityProbe(CalvinRouter())
+        view = self.make_view()
+        txns = [rw(i, [i], [i]) for i in range(1, 8)]
+        probe.route_batch(Batch(1, txns), view)
+        assert probe.mean_displacement() == 0.0
+
+    def test_probe_is_transparent_end_to_end(self):
+        """A cluster behind the probe behaves identically."""
+        def run(wrap):
+            router = PrescientRouter()
+            cluster = Cluster(
+                ClusterConfig(
+                    num_nodes=3,
+                    engine=EngineConfig(epoch_us=5_000.0),
+                ),
+                PlanQualityProbe(router) if wrap else router,
+                make_uniform_ranges(300, 3),
+            )
+            cluster.load_data(range(300))
+            for i in range(1, 20):
+                cluster.submit(rw(i, [i * 7 % 300, (i * 7 + 150) % 300],
+                                  [i * 7 % 300]))
+            cluster.run_until_quiescent(30_000_000)
+            return cluster
+
+        plain = run(False)
+        probed = run(True)
+        assert plain.state_fingerprint() == probed.state_fingerprint()
+        assert probed.router.mean_remote_reads_per_txn() >= 0.0
+
+    def test_aggregates_empty(self):
+        probe = PlanQualityProbe(CalvinRouter())
+        assert probe.mean_remote_reads_per_txn() == 0.0
+        assert probe.mean_imbalance() == 1.0
+        assert probe.total_migrations() == 0
+
+
+class TestInstrumentedOverlay:
+    def test_counts_hits_and_misses(self):
+        overlay = InstrumentedOverlay(FusionTable(FusionConfig(capacity=10)))
+        overlay.put("a", 1)
+        assert overlay.get("a") == 1
+        assert overlay.get("b") is None
+        assert overlay.hits == 1
+        assert overlay.misses == 1
+        assert overlay.hit_rate == 0.5
+        overlay.remove("a")
+        assert overlay.removes == 1
+
+    def test_empty_hit_rate(self):
+        overlay = InstrumentedOverlay(FusionTable())
+        assert overlay.hit_rate == 0.0
+
+
+class TestAsciiHistogram:
+    def test_renders_bins(self):
+        text = ascii_histogram([1, 1, 2, 5, 9], bins=4, label="latency")
+        assert "latency" in text
+        assert "#" in text
+
+    def test_constant_values(self):
+        text = ascii_histogram([3, 3, 3])
+        assert "3" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_histogram([])
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1], bins=0)

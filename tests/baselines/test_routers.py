@@ -1,0 +1,168 @@
+"""Unit tests for the baseline routing strategies."""
+
+import pytest
+
+from repro.common.types import Batch, Transaction
+from repro.baselines.calvin import CalvinRouter
+from repro.baselines.gstore import GStoreRouter
+from repro.baselines.leap import LeapRouter
+from repro.baselines.tpart import TPartRouter
+from repro.core.router import ClusterView, OwnershipView
+from repro.storage.partitioning import make_uniform_ranges
+
+
+def make_view(num_nodes=3, num_keys=300):
+    return ClusterView(
+        range(num_nodes), OwnershipView(make_uniform_ranges(num_keys, num_nodes))
+    )
+
+
+def rw(txn_id, reads, writes):
+    return Transaction.read_write(txn_id, reads, writes)
+
+
+class TestCalvinRouter:
+    def test_multi_master_one_per_writer_partition(self):
+        view = make_view()
+        plan = CalvinRouter().route_batch(
+            Batch(1, [rw(1, [5, 150], [5, 150])]), view
+        )
+        assert plan.plans[0].masters == (0, 1)
+
+    def test_writes_stay_at_owners(self):
+        view = make_view()
+        plan = CalvinRouter().route_batch(
+            Batch(1, [rw(1, [5, 150], [5, 150])]), view
+        )
+        assert plan.plans[0].writes_at == {0: frozenset([5]),
+                                           1: frozenset([150])}
+        assert plan.plans[0].migrations == ()
+
+    def test_read_only_single_master(self):
+        view = make_view()
+        plan = CalvinRouter().route_batch(
+            Batch(1, [Transaction.read_only(1, [5, 6, 150])]), view
+        )
+        assert plan.plans[0].masters == (0,)  # majority owner
+
+    def test_no_view_mutation(self):
+        view = make_view()
+        CalvinRouter().route_batch(Batch(1, [rw(1, [5, 150], [150])]), view)
+        assert view.ownership.owner(150) == 1
+
+    def test_preserves_batch_order(self):
+        view = make_view()
+        txns = [rw(i, [i], [i]) for i in range(1, 6)]
+        plan = CalvinRouter().route_batch(Batch(1, txns), view)
+        assert [p.txn.txn_id for p in plan.plans] == [1, 2, 3, 4, 5]
+
+
+class TestGStoreRouter:
+    def test_pull_and_writeback_symmetry(self):
+        view = make_view()
+        plan = GStoreRouter().route_batch(
+            Batch(1, [rw(1, [5, 150], [5, 150])]), view
+        )
+        txn_plan = plan.plans[0]
+        assert len(txn_plan.masters) == 1
+        master = txn_plan.masters[0]
+        pulled = {m.key for m in txn_plan.migrations}
+        pushed = {m.key for m in txn_plan.writebacks}
+        assert pulled == pushed
+        remote = {k for k in (5, 150) if view.ownership.owner(k) != master}
+        assert pulled == remote
+
+    def test_ownership_view_unchanged(self):
+        view = make_view()
+        GStoreRouter().route_batch(Batch(1, [rw(1, [5, 150], [5, 150])]), view)
+        assert view.ownership.owner(5) == 0
+        assert view.ownership.owner(150) == 1
+
+
+class TestLeapRouter:
+    def test_migrates_everything_and_keeps_it(self):
+        view = make_view()
+        plan = LeapRouter().route_batch(
+            Batch(1, [rw(1, [5, 150], [150])]), view
+        )
+        txn_plan = plan.plans[0]
+        master = txn_plan.masters[0]
+        assert txn_plan.writebacks == ()
+        # Both keys now live at the master in the ownership view.
+        assert view.ownership.owner(5) == master
+        assert view.ownership.owner(150) == master
+
+    def test_second_txn_finds_migrated_records_local(self):
+        view = make_view()
+        router = LeapRouter()
+        plan1 = router.route_batch(Batch(1, [rw(1, [5, 150], [5, 150])]), view)
+        master = plan1.plans[0].masters[0]
+        plan2 = router.route_batch(Batch(2, [rw(2, [5, 150], [5])]), view)
+        assert plan2.plans[0].masters == (master,)
+        assert plan2.plans[0].remote_read_count() == 0
+
+
+class TestTPartRouter:
+    def test_forward_push_reuses_pulled_record(self):
+        view = make_view()
+        router = TPartRouter()
+        # Two txns in one batch touching key 150 (home node 1): the second
+        # reads it from wherever the first pushed it, not from home.
+        txns = [rw(1, [5, 150], [150]), rw(2, [150], [150])]
+        plan = router.route_batch(Batch(1, txns), view)
+        first, second = plan.plans
+        if 150 in {m.key for m in first.migrations}:
+            holder = first.masters[0]
+            assert list(second.reads_from.keys()) == [holder] or (
+                second.masters[0] == holder
+            )
+
+    def test_displaced_records_written_back_by_last_toucher(self):
+        view = make_view()
+        router = TPartRouter()
+        txns = [rw(1, [5, 150], [150]), rw(2, [150], [150])]
+        plan = router.route_batch(Batch(1, txns), view)
+        all_writebacks = [m for p in plan.plans for m in p.writebacks]
+        displaced = [m for m in all_writebacks if m.key == 150]
+        if displaced:
+            assert displaced[0].dst == 1  # home of key 150
+            # and it rides the LAST toucher, not the first
+            assert 150 not in {m.key for m in plan.plans[0].writebacks}
+
+    def test_view_never_mutated(self):
+        view = make_view()
+        router = TPartRouter()
+        router.route_batch(
+            Batch(1, [rw(1, [5, 150], [5, 150]), rw(2, [150], [150])]), view
+        )
+        assert view.ownership.owner(5) == 0
+        assert view.ownership.owner(150) == 1
+
+    def test_load_respects_theta(self):
+        view = make_view()
+        router = TPartRouter()
+        # 9 independent local txns all on node 0's range: theta forces
+        # spreading despite locality.
+        txns = [rw(i, [i], [i]) for i in range(1, 10)]
+        plan = router.route_batch(Batch(1, txns), view)
+        loads = plan.loads(3)
+        import math
+        theta = math.ceil(9 / 3 * 1.25)
+        assert max(loads) <= theta
+
+
+class TestPlansValidate:
+    @pytest.mark.parametrize(
+        "router",
+        [CalvinRouter(), GStoreRouter(), LeapRouter(), TPartRouter()],
+    )
+    def test_mixed_batch_valid(self, router):
+        view = make_view()
+        txns = [
+            rw(1, [5, 150, 250], [150]),
+            Transaction.read_only(2, [5, 6]),
+            rw(3, [250], [250]),
+            rw(4, [5, 150], [5, 150]),
+        ]
+        plan = router.route_batch(Batch(1, txns), view)
+        plan.validate([1, 2, 3, 4])

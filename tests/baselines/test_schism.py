@@ -1,0 +1,78 @@
+"""Unit tests for the Schism offline partitioner."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Transaction
+from repro.baselines.schism import (
+    build_coaccess_graph,
+    partition_graph,
+    schism_partition,
+)
+
+
+def rw(txn_id, keys):
+    return Transaction.read_write(txn_id, keys, [keys[0]])
+
+
+class TestCoaccessGraph:
+    def test_vertices_are_ranges(self):
+        trace = [rw(1, [5, 15]), rw(2, [5, 25])]
+        graph = build_coaccess_graph(trace, range_records=10)
+        assert set(graph.nodes) == {0, 1, 2}
+        assert graph.nodes[0]["weight"] == 2
+
+    def test_edge_weights_count_coaccess(self):
+        trace = [rw(1, [5, 15]), rw(2, [6, 16]), rw(3, [5, 25])]
+        graph = build_coaccess_graph(trace, range_records=10)
+        assert graph[0][1]["weight"] == 2
+        assert graph[0][2]["weight"] == 1
+
+    def test_same_range_keys_make_no_self_edge(self):
+        graph = build_coaccess_graph([rw(1, [5, 6])], range_records=10)
+        assert graph.number_of_edges() == 0
+        assert graph.nodes[0]["weight"] == 1
+
+
+class TestPartitionGraph:
+    def test_coaccessed_ranges_colocate(self):
+        # Two clusters of ranges, heavily co-accessed internally.
+        trace = []
+        for i in range(20):
+            trace.append(rw(i, [5, 15]))          # ranges 0,1
+            trace.append(rw(100 + i, [25, 35]))   # ranges 2,3
+        graph = build_coaccess_graph(trace, range_records=10)
+        part_of = partition_graph(graph, num_parts=2)
+        assert part_of[0] == part_of[1]
+        assert part_of[2] == part_of[3]
+        assert part_of[0] != part_of[2]
+
+    def test_balance_cap_spreads_weight(self):
+        # Many independent equally-hot ranges must spread over parts.
+        trace = [rw(i, [i * 10 + 1]) for i in range(12)]
+        graph = build_coaccess_graph(trace, range_records=10)
+        part_of = partition_graph(graph, num_parts=3)
+        from collections import Counter
+        counts = Counter(part_of.values())
+        assert max(counts.values()) <= 5
+
+
+class TestSchismPartition:
+    def test_returns_full_coverage(self):
+        trace = [rw(1, [5, 95]), rw(2, [45])]
+        part = schism_partition(
+            trace, num_keys=100, num_nodes=2, range_records=10
+        )
+        for key in range(100):
+            assert 0 <= part.home(key) < 2
+
+    def test_unseen_ranges_round_robin(self):
+        part = schism_partition([], num_keys=40, num_nodes=2, range_records=10)
+        owners = {part.home(k) for k in range(40)}
+        assert owners == {0, 1}
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            schism_partition([], num_keys=0, num_nodes=2, range_records=10)
+        with pytest.raises(ConfigurationError):
+            build_coaccess_graph([], range_records=0)

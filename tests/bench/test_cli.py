@@ -1,0 +1,33 @@
+"""Smoke tests for the ``python -m repro.bench`` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hermes" in out
+        assert "squall" in out
+
+    def test_google_tiny(self, capsys):
+        code = main(["google", "calvin", "--duration", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "calvin" in out
+        assert "throughput/s" in out
+
+    def test_multitenant_tiny(self, capsys):
+        code = main(["multitenant", "calvin", "--duration", "0.5"])
+        assert code == 0
+        assert "calvin" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_strategy_fails_loudly(self):
+        with pytest.raises(Exception):
+            main(["google", "mystery", "--duration", "0.5"])

@@ -1,0 +1,75 @@
+"""Smoke tests of the experiment harness at miniature scale."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.specs import make_strategy
+from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
+from repro.common.rng import DeterministicRNG
+from repro.storage.partitioning import make_uniform_ranges
+from repro.workloads.multitenant import (
+    MultiTenantConfig,
+    MultiTenantWorkload,
+    perfect_partitioner,
+)
+
+WL = MultiTenantConfig(
+    num_nodes=2, tenants_per_node=2, records_per_tenant=100,
+    rotation_interval_us=500_000.0,
+)
+CLUSTER = ClusterConfig(
+    num_nodes=2, engine=EngineConfig(epoch_us=5_000.0, workers_per_node=2)
+)
+
+
+def run(spec, mode="closed", **kwargs):
+    return run_workload(
+        spec,
+        cluster_config=CLUSTER,
+        partitioner_factory=lambda: perfect_partitioner(WL),
+        workload_factory=lambda rng: MultiTenantWorkload(WL, rng),
+        duration_us=400_000.0,
+        warmup_us=50_000.0,
+        mode=mode,
+        clients=10,
+        rate_per_s=2_000.0,
+        **kwargs,
+    )
+
+
+class TestRunWorkload:
+    @pytest.mark.parametrize("name", ["calvin", "hermes", "leap"])
+    def test_closed_loop_produces_commits(self, name):
+        spec = make_strategy(name, fusion=FusionConfig(capacity=100))
+        result = run(spec)
+        assert result.commits > 0
+        assert result.throughput_per_s > 0
+        assert result.mean_latency_us > 0
+        assert set(result.latency_breakdown_us) == {
+            "scheduling", "lock_wait", "local_storage", "remote_wait", "other"
+        }
+        assert len(result.throughput_series) > 0
+
+    def test_open_loop_mode(self):
+        result = run(make_strategy("calvin"), mode="open")
+        assert result.commits > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run(make_strategy("calvin"), mode="sideways")
+
+    def test_same_seed_reproduces(self):
+        a = run(make_strategy("calvin"))
+        b = run(make_strategy("calvin"))
+        assert a.commits == b.commits
+        assert a.throughput_series.values == b.throughput_series.values
+
+    def test_before_run_hook_fires(self):
+        fired = []
+        run(make_strategy("calvin"), before_run=lambda c: fired.append(c))
+        assert len(fired) == 1
+
+    def test_result_extras_expose_cluster(self):
+        result = run(make_strategy("calvin"))
+        cluster = result.extras["cluster"]
+        assert cluster.total_records() == WL.num_keys

@@ -1,0 +1,95 @@
+"""Unit tests for the strategy registry and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.reporting import (
+    format_latency_breakdown,
+    format_series,
+    format_table,
+)
+from repro.bench.specs import ALL_STRATEGIES, make_strategy
+from repro.common.errors import ConfigurationError
+from repro.core.fusion_table import FusionTable
+from repro.sim.stats import LATENCY_STAGES, TimeSeries
+
+
+class TestMakeStrategy:
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_all_registered_names_build(self, name):
+        spec = make_strategy(name)
+        router = spec.make_router()
+        assert hasattr(router, "route_batch")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("quantum")
+
+    def test_hermes_gets_fusion_overlay(self):
+        spec = make_strategy("hermes")
+        overlay = spec.build_overlay()
+        assert isinstance(overlay, FusionTable)
+
+    def test_baselines_get_no_overlay(self):
+        assert make_strategy("calvin").build_overlay() is None
+
+    def test_ablation_variants_flip_flags(self):
+        noreorder = make_strategy("hermes-noreorder").make_router()
+        nobalance = make_strategy("hermes-nobalance").make_router()
+        assert not noreorder.config.reorder
+        assert noreorder.config.balance
+        assert not nobalance.config.balance
+        assert nobalance.config.reorder
+
+    def test_clay_spec_has_attach_hook(self):
+        spec = make_strategy("clay")
+        assert spec.attach is not None
+
+
+def _result(name, tput=100.0):
+    series = TimeSeries("t")
+    series.record(5e5, tput)
+    series.record(15e5, tput * 1.1)
+    return ExperimentResult(
+        strategy=name,
+        commits=1000,
+        duration_us=2e6,
+        throughput_per_s=tput,
+        mean_latency_us=5000.0,
+        latency_breakdown_us={stage: 100.0 for stage in LATENCY_STAGES},
+        cpu_utilization=0.5,
+        net_bytes_per_commit=2048.0,
+        remote_reads=10,
+        writebacks=0,
+        evictions=0,
+        throughput_series=series,
+    )
+
+
+class TestReporting:
+    def test_format_table_contains_rows(self):
+        text = format_table([_result("calvin"), _result("hermes", 200.0)],
+                            "my title")
+        assert "my title" in text
+        assert "calvin" in text and "hermes" in text
+        assert "200" in text
+
+    def test_format_series_has_time_column(self):
+        text = format_series([_result("a"), _result("b")])
+        assert "t(s)" in text
+        assert "0.5" in text
+
+    def test_format_latency_breakdown_lists_stages(self):
+        text = format_latency_breakdown([_result("x")])
+        for stage in LATENCY_STAGES:
+            assert stage in text
+        assert "total" in text
+
+    def test_empty_inputs(self):
+        assert "(no results)" in format_table([], "t")
+        assert "(no results)" in format_series([], "t")
+
+    def test_summary_row_keys(self):
+        row = _result("x").summary_row()
+        assert row["strategy"] == "x"
+        assert "throughput/s" in row

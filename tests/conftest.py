@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, EngineConfig
+from repro.common.rng import DeterministicRNG
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    """A deterministic RNG rooted at a fixed seed."""
+    return DeterministicRNG(1234)
+
+
+@pytest.fixture
+def small_cluster_config() -> ClusterConfig:
+    """A 3-node config with a short epoch, for fast integration tests."""
+    return ClusterConfig(
+        num_nodes=3,
+        engine=EngineConfig(epoch_us=5_000.0, workers_per_node=2),
+    )

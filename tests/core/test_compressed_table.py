@@ -1,0 +1,93 @@
+"""Tests for the Huffman-coded lookup table (§4.1 alternative)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.compressed_table import CompressedLookupTable, HuffmanCode
+
+
+class TestHuffmanCode:
+    def test_roundtrip_simple(self):
+        code = HuffmanCode({0: 5, 1: 3, 2: 1})
+        symbols = [0, 1, 2, 0, 0, 1]
+        data, bits = code.encode(symbols)
+        assert code.decode(data, 0, len(symbols)) == symbols
+
+    def test_single_symbol_alphabet(self):
+        code = HuffmanCode({7: 10})
+        data, _bits = code.encode([7, 7, 7])
+        assert code.decode(data, 0, 3) == [7, 7, 7]
+
+    def test_skew_gives_short_codes_to_common_symbols(self):
+        code = HuffmanCode({0: 1000, 1: 1, 2: 1})
+        length_common = code.codes[0][0]
+        length_rare = code.codes[1][0]
+        assert length_common < length_rare
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            HuffmanCode({})
+        with pytest.raises(ConfigurationError):
+            HuffmanCode({0: 0})
+
+    @given(
+        st.lists(st.integers(0, 7), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60)
+    def test_property_roundtrip(self, symbols):
+        frequencies = {}
+        for s in symbols:
+            frequencies[s] = frequencies.get(s, 0) + 1
+        code = HuffmanCode(frequencies)
+        data, _bits = code.encode(symbols)
+        assert code.decode(data, 0, len(symbols)) == symbols
+
+
+class TestCompressedLookupTable:
+    def test_lookup_matches_assignment(self):
+        assignment = [i % 4 for i in range(1000)]
+        table = CompressedLookupTable(assignment, block_size=32)
+        for key in (0, 1, 31, 32, 500, 999):
+            assert table.lookup(key) == assignment[key]
+
+    def test_out_of_range_rejected(self):
+        table = CompressedLookupTable([0, 1], block_size=2)
+        with pytest.raises(ConfigurationError):
+            table.lookup(2)
+
+    def test_skewed_assignment_compresses_well(self):
+        # 99% of keys on node 0: near-1-bit entries vs 4 plain bytes.
+        assignment = [0] * 9900 + [i % 20 for i in range(100)]
+        table = CompressedLookupTable(assignment, block_size=128)
+        assert table.compression_factor() > 10
+
+    def test_uniform_assignment_compresses_modestly(self):
+        assignment = [i % 16 for i in range(4096)]
+        table = CompressedLookupTable(assignment, block_size=128)
+        # 4-bit codes vs 32-bit entries ≈ 8x minus index overhead.
+        assert 2.0 < table.compression_factor() < 9.0
+
+    def test_decode_cost_tracks_lookups(self):
+        table = CompressedLookupTable([0, 1, 0, 1], block_size=2)
+        table.lookup(1)  # decodes 2 symbols
+        table.lookup(2)  # decodes 1 symbol (block start)
+        assert table.decoded_symbols_total == 3
+        assert table.mean_decode_cost() == pytest.approx(1.5)
+
+    @given(
+        assignment=st.lists(st.integers(0, 5), min_size=1, max_size=300),
+        block_size=st.integers(1, 64),
+    )
+    @settings(max_examples=40)
+    def test_property_every_key_correct(self, assignment, block_size):
+        table = CompressedLookupTable(assignment, block_size=block_size)
+        for key in range(0, len(assignment), max(1, len(assignment) // 17)):
+            assert table.lookup(key) == assignment[key]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompressedLookupTable([])
+        with pytest.raises(ConfigurationError):
+            CompressedLookupTable([0], block_size=0)

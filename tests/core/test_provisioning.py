@@ -1,0 +1,96 @@
+"""Unit tests for the hybrid provisioning planner (Section 3.3)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.provisioning import (
+    ChunkMigration,
+    ColdMigrationPlan,
+    HybridMigrationPlanner,
+    TopologyChange,
+)
+from repro.storage.partitioning import RangePartitioner
+
+
+class TestTopologyChange:
+    def test_iterates_nodes(self):
+        change = TopologyChange((0, 1, 2))
+        assert list(change) == [0, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TopologyChange(())
+
+
+class TestChunkMigration:
+    def test_rejects_self_move(self):
+        with pytest.raises(ConfigurationError):
+            ChunkMigration(src=1, dst=1, keys=(1, 2))
+
+    def test_plan_totals(self):
+        plan = ColdMigrationPlan(
+            (
+                ChunkMigration(0, 1, (1, 2, 3)),
+                ChunkMigration(0, 1, (4, 5)),
+            )
+        )
+        assert len(plan) == 2
+        assert plan.total_keys() == 5
+
+
+class TestScaleOut:
+    def test_chunks_cover_requested_ranges(self):
+        planner = HybridMigrationPlanner(chunk_records=10)
+        topology, plan = planner.plan_scale_out(
+            [0, 1, 2], new_node=3, moves=[(0, 0, 25)]
+        )
+        assert tuple(topology) == (0, 1, 2, 3)
+        assert len(plan) == 3  # 10 + 10 + 5
+        moved = [k for chunk in plan.chunks for k in chunk.keys]
+        assert moved == list(range(25))
+        assert all(c.dst == 3 and c.src == 0 for c in plan.chunks)
+        assert plan.chunks[0].range_reassign == (0, 10)
+
+    def test_rejects_existing_node(self):
+        planner = HybridMigrationPlanner()
+        with pytest.raises(ConfigurationError):
+            planner.plan_scale_out([0, 1], new_node=1, moves=[])
+
+    def test_rejects_empty_range(self):
+        planner = HybridMigrationPlanner()
+        with pytest.raises(ConfigurationError):
+            planner.plan_scale_out([0], new_node=1, moves=[(0, 10, 10)])
+
+
+class TestConsolidation:
+    def test_departing_ranges_spread_round_robin(self):
+        part = RangePartitioner([0, 30, 60], [0, 1, 0])
+        planner = HybridMigrationPlanner(chunk_records=10)
+        topology, plan = planner.plan_consolidation(
+            [0, 1], removed_node=0, partitioner=part, key_lo=0, key_hi=90
+        )
+        assert tuple(topology) == (1,)
+        moved = sorted(k for c in plan.chunks for k in c.keys)
+        assert moved == list(range(0, 30)) + list(range(60, 90))
+        assert all(c.dst == 1 for c in plan.chunks)
+
+    def test_chunks_are_contiguous_runs(self):
+        part = RangePartitioner([0, 10, 20], [0, 1, 0])
+        planner = HybridMigrationPlanner(chunk_records=100)
+        _topology, plan = planner.plan_consolidation(
+            [0, 1], removed_node=0, partitioner=part, key_lo=0, key_hi=30
+        )
+        # Two disjoint runs (0..9 and 20..29) must not merge into one
+        # chunk with a bogus range_reassign.
+        assert len(plan) == 2
+        for chunk in plan.chunks:
+            lo, hi = chunk.range_reassign
+            assert list(chunk.keys) == list(range(lo, hi))
+
+    def test_cannot_remove_last_node(self):
+        part = RangePartitioner([0], [0])
+        planner = HybridMigrationPlanner()
+        with pytest.raises(ConfigurationError):
+            planner.plan_consolidation(
+                [0], removed_node=0, partitioner=part, key_lo=0, key_hi=10
+            )

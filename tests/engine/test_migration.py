@@ -1,0 +1,136 @@
+"""Integration tests for chunked cold migration and provisioning."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
+from repro.common.types import Transaction
+from repro.core.fusion_table import FusionTable
+from repro.core.prescient import PrescientRouter
+from repro.core.provisioning import HybridMigrationPlanner
+from repro.baselines.calvin import CalvinRouter
+from repro.baselines.squall import SquallExecutor
+from repro.engine.cluster import Cluster
+from repro.engine.migration import MigrationController
+from repro.storage.partitioning import make_uniform_ranges
+
+NUM_KEYS = 400
+
+
+def build(router, num_nodes=4, active=None, overlay=None):
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        engine=EngineConfig(
+            epoch_us=5_000.0,
+            workers_per_node=2,
+            migration_chunk_records=25,
+            migration_chunk_gap_us=1_000.0,
+        ),
+    )
+    cluster = Cluster(
+        config,
+        router,
+        make_uniform_ranges(NUM_KEYS, num_nodes),
+        overlay=overlay,
+        active_nodes=active,
+        validate_plans=True,
+    )
+    cluster.load_data(range(NUM_KEYS))
+    return cluster
+
+
+class TestSquallExecutor:
+    def test_range_physically_moves(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster)
+        done = []
+        executor.migrate_range(0, 3, 0, 100, on_complete=lambda: done.append(1))
+        cluster.run_until_quiescent(60_000_000)
+        assert done == [1]
+        placement = cluster.placement_snapshot()
+        assert all(k in placement[3] for k in range(0, 100))
+        assert cluster.total_records() == NUM_KEYS
+
+    def test_static_map_updated(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster)
+        executor.migrate_range(0, 3, 0, 100)
+        cluster.run_until_quiescent(60_000_000)
+        assert cluster.ownership.static.home(50) == 3
+        assert cluster.ownership.owner(50) == 3
+
+    def test_chunks_paced_one_at_a_time(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster, chunk_records=10)
+        plan = executor.plan_range(0, 3, 0, 50)
+        assert len(plan) == 5
+        executor.start_plan(plan)
+        cluster.run_until_quiescent(60_000_000)
+        assert executor.controller.chunks_committed == 5
+
+    def test_concurrent_user_txns_still_commit(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster)
+        executor.migrate_range(0, 3, 0, 100)
+        for i in range(1, 30):
+            cluster.submit(Transaction.read_write(1000 + i, [i * 3], [i * 3]))
+        cluster.run_until_quiescent(60_000_000)
+        assert cluster.metrics.commits == 29
+        assert cluster.total_records() == NUM_KEYS
+        assert cluster.lock_manager.outstanding() == 0
+
+    def test_double_start_rejected(self):
+        cluster = build(CalvinRouter())
+        controller = MigrationController(cluster)
+        planner = HybridMigrationPlanner(chunk_records=50)
+        _t, plan = planner.plan_scale_out([0, 1, 2], 3, [(0, 0, 100)])
+        controller.start(plan)
+        with pytest.raises(RuntimeError):
+            controller.start(plan)
+
+
+class TestHermesScaleOut:
+    def test_fusion_skips_hot_keys_in_chunks(self):
+        """Records already fused away from the chunk's source are not
+        shipped by cold migration (Section 3.3 isolation)."""
+        table = FusionTable(FusionConfig(capacity=1000))
+        cluster = build(PrescientRouter(), active=[0, 1, 2], overlay=table)
+
+        # Fuse keys 0..4 onto node 1 via user transactions that write them
+        # together with a node-1-resident key.
+        for i in range(5):
+            cluster.submit(
+                Transaction.read_write(100 + i, [i, 150 + i], [i, 150 + i])
+            )
+        cluster.run_until_quiescent(60_000_000)
+        fused_away = [k for k in range(5) if cluster.ownership.owner(k) != 0]
+        assert fused_away, "setup failed: nothing fused off node 0"
+
+        migrated_before = cluster.metrics.evictions
+        executor = SquallExecutor(cluster, chunk_records=50)
+        executor.migrate_range(0, 3, 0, 100)
+        cluster.run_until_quiescent(120_000_000)
+
+        placement = cluster.placement_snapshot()
+        for key in fused_away:
+            # Hot keys stayed wherever fusion put them (not node 3).
+            owner = cluster.ownership.owner(key)
+            assert key in placement[owner]
+        # Cold keys of the range did land on node 3.
+        cold = [k for k in range(5, 100) if k not in fused_away]
+        assert all(k in placement[3] for k in cold)
+        assert cluster.total_records() == NUM_KEYS
+        assert cluster.metrics.evictions == migrated_before
+
+    def test_scale_out_event_shifts_routing(self):
+        table = FusionTable(FusionConfig(capacity=1000))
+        cluster = build(PrescientRouter(), active=[0, 1, 2], overlay=table)
+        cluster.announce_topology([0, 1, 2, 3])
+        for i in range(1, 40):
+            cluster.submit(
+                Transaction.read_write(i, [i % 100, 100 + i % 100],
+                                       [i % 100, 100 + i % 100])
+            )
+        cluster.run_until_quiescent(60_000_000)
+        assert cluster.view.active_nodes == [0, 1, 2, 3]
+        # With balancing on, some transactions route to the new node.
+        assert cluster.nodes[3].commits > 0

@@ -1,0 +1,85 @@
+"""Unit tests for the worker pool and node accounting."""
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import SimulationError
+from repro.engine.node import Node, WorkerPool
+from repro.sim.kernel import Kernel
+
+
+def make_pool(num_workers=2):
+    kernel = Kernel()
+    return kernel, WorkerPool(kernel, 0, num_workers, busy_window_us=1e6)
+
+
+class TestWorkerPool:
+    def test_tasks_run_fifo_within_capacity(self):
+        kernel, pool = make_pool(num_workers=1)
+        done = []
+        pool.submit(100.0, lambda: done.append(("a", kernel.now)))
+        pool.submit(50.0, lambda: done.append(("b", kernel.now)))
+        kernel.run_until(1_000.0)
+        assert done == [("a", 100.0), ("b", 150.0)]
+
+    def test_parallel_workers_overlap(self):
+        kernel, pool = make_pool(num_workers=2)
+        done = []
+        pool.submit(100.0, lambda: done.append(kernel.now))
+        pool.submit(100.0, lambda: done.append(kernel.now))
+        kernel.run_until(1_000.0)
+        assert done == [100.0, 100.0]
+
+    def test_busy_time_accumulates(self):
+        kernel, pool = make_pool()
+        pool.submit(100.0, lambda: None)
+        pool.submit(60.0, lambda: None)
+        kernel.run_until(1_000.0)
+        assert pool.busy_us_total == pytest.approx(160.0)
+
+    def test_background_cpu_counted_separately(self):
+        kernel, pool = make_pool()
+        pool.charge_background_cpu(40.0)
+        assert pool.busy_us_total == pytest.approx(40.0)
+
+    def test_zero_cpu_task_completes(self):
+        kernel, pool = make_pool()
+        done = []
+        pool.submit(0.0, lambda: done.append(1))
+        kernel.run_until(10.0)
+        assert done == [1]
+
+    def test_negative_cpu_rejected(self):
+        _kernel, pool = make_pool()
+        with pytest.raises(SimulationError):
+            pool.submit(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            pool.charge_background_cpu(-1.0)
+
+    def test_task_callback_can_submit_more(self):
+        kernel, pool = make_pool(num_workers=1)
+        done = []
+
+        def chain():
+            done.append(kernel.now)
+            if len(done) < 3:
+                pool.submit(10.0, chain)
+
+        pool.submit(10.0, chain)
+        kernel.run_until(1_000.0)
+        assert done == [10.0, 20.0, 30.0]
+
+    def test_requires_at_least_one_worker(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            WorkerPool(kernel, 0, 0, busy_window_us=1e6)
+
+
+class TestNode:
+    def test_node_wires_store_and_workers(self):
+        kernel = Kernel()
+        node = Node(kernel, 3, ClusterConfig(num_nodes=4), 1e6)
+        node.store.load(1)
+        assert len(node.store) == 1
+        assert node.workers.num_workers >= 1
+        assert node.commits == 0

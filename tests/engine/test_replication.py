@@ -1,0 +1,145 @@
+"""Tests for WAN replication by determinism (Section 2.1)."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import Transaction
+from repro.core.fusion_table import FusionTable
+from repro.core.prescient import PrescientRouter
+from repro.baselines.calvin import CalvinRouter
+from repro.engine.cluster import Cluster
+from repro.engine.replication import ReplicatedDeployment
+from repro.storage.partitioning import make_uniform_ranges
+from repro.workloads.multitenant import MultiTenantConfig, MultiTenantWorkload
+
+NUM_KEYS = 300
+
+
+def build_factory(router_factory, overlay_factory=None):
+    def build():
+        cluster = Cluster(
+            ClusterConfig(
+                num_nodes=3,
+                engine=EngineConfig(epoch_us=5_000.0, workers_per_node=2),
+            ),
+            router_factory(),
+            make_uniform_ranges(NUM_KEYS, 3),
+            overlay=overlay_factory() if overlay_factory else None,
+        )
+        cluster.load_data(range(NUM_KEYS))
+        return cluster
+
+    return build
+
+
+def some_txns(count=30, seed=3):
+    wl = MultiTenantWorkload(
+        MultiTenantConfig(num_nodes=3, tenants_per_node=1,
+                          records_per_tenant=100,
+                          rotation_interval_us=100_000.0),
+        DeterministicRNG(seed),
+    )
+    return [wl.make_txn(i + 1, 0.0) for i in range(count)]
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "router_factory,overlay_factory",
+        [
+            (CalvinRouter, None),
+            (
+                PrescientRouter,
+                lambda: FusionTable(FusionConfig(capacity=100)),
+            ),
+        ],
+    )
+    def test_replicas_converge(self, router_factory, overlay_factory):
+        deployment = ReplicatedDeployment(
+            build_factory(router_factory, overlay_factory),
+            num_replicas=2,
+            wan_delay_us=30_000.0,
+        )
+        for txn in some_txns():
+            deployment.submit(txn)
+        deployment.drain(60_000_000)
+        assert deployment.converged(), deployment.divergence_report()
+        assert deployment.primary.metrics.commits == 30
+        for replica in deployment.replicas:
+            assert replica.metrics.commits == 30
+
+    def test_replicas_lag_but_never_diverge(self):
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=1,
+            wan_delay_us=100_000.0,
+        )
+        for txn in some_txns(10):
+            deployment.submit(txn)
+        # Mid-flight, the replica is behind the primary.
+        deployment.run_until(40_000.0)
+        primary_done = deployment.primary.epochs_delivered
+        replica_done = deployment.replicas[0].epochs_delivered
+        assert replica_done <= primary_done
+        deployment.drain(60_000_000)
+        assert deployment.converged()
+
+    def test_zero_wan_delay(self):
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=1, wan_delay_us=0.0
+        )
+        for txn in some_txns(5):
+            deployment.submit(txn)
+        deployment.drain(60_000_000)
+        assert deployment.converged()
+
+
+class TestFailover:
+    def test_promoted_replica_continues(self):
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=1,
+            wan_delay_us=20_000.0,
+        )
+        for txn in some_txns(20):
+            deployment.submit(txn)
+        deployment.drain(60_000_000)
+
+        promoted = deployment.fail_over(0)
+        assert promoted.state_fingerprint() == (
+            deployment.primary.state_fingerprint()
+        )
+        # The survivor accepts new work immediately — no recovery pause.
+        follow_up = Transaction.read_write(
+            9_999, reads=[5], writes=[5],
+            arrival_time=promoted.kernel.now,
+        )
+        promoted.submit(follow_up)
+        promoted.run_until_quiescent(promoted.kernel.now + 60_000_000)
+        assert promoted.metrics.commits == 21
+
+    def test_submit_after_failover_rejected(self):
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=1
+        )
+        deployment.fail_over(0)
+        with pytest.raises(SimulationError):
+            deployment.submit(some_txns(1)[0])
+
+    def test_bad_replica_index(self):
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=1
+        )
+        with pytest.raises(ConfigurationError):
+            deployment.fail_over(5)
+
+
+class TestValidation:
+    def test_needs_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedDeployment(build_factory(CalvinRouter), num_replicas=0)
+
+    def test_negative_wan_delay(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedDeployment(
+                build_factory(CalvinRouter), wan_delay_us=-1.0
+            )

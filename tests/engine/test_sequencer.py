@@ -1,0 +1,83 @@
+"""Unit tests for the epoch sequencer."""
+
+from repro.common.config import CostModel, EngineConfig
+from repro.common.types import Transaction, TxnKind
+from repro.engine.sequencer import Sequencer
+from repro.sim.kernel import Kernel
+
+
+def make(epoch_us=1_000.0, max_batch=5, latency=100.0):
+    kernel = Kernel()
+    batches = []
+    sequencer = Sequencer(
+        kernel,
+        EngineConfig(epoch_us=epoch_us, max_batch_size=max_batch),
+        CostModel(sequencer_latency_us=latency),
+        batches.append,
+    )
+    return kernel, sequencer, batches
+
+
+def txn(i, kind=TxnKind.READ_WRITE):
+    return Transaction(
+        txn_id=i, read_set=frozenset([i]),
+        write_set=frozenset([i]) if kind is TxnKind.READ_WRITE else frozenset(),
+        kind=kind,
+        payload=(0,) if kind is TxnKind.TOPOLOGY else None,
+    )
+
+
+class TestBatching:
+    def test_epoch_cuts_batches(self):
+        kernel, sequencer, batches = make()
+        sequencer.submit(txn(1))
+        sequencer.submit(txn(2))
+        kernel.run_until(1_200.0)
+        assert len(batches) == 1
+        assert batches[0].ids() == [1, 2]
+        assert batches[0].epoch == 1
+
+    def test_empty_epochs_produce_no_batches(self):
+        kernel, _sequencer, batches = make()
+        kernel.run_until(10_000.0)
+        assert batches == []
+
+    def test_delivery_delayed_by_ordering_latency(self):
+        kernel, sequencer, batches = make(latency=500.0)
+        sequencer.submit(txn(1))
+        kernel.run_until(1_400.0)
+        assert batches == []
+        kernel.run_until(1_600.0)
+        assert len(batches) == 1
+
+    def test_max_batch_size_spills_to_next_epoch(self):
+        kernel, sequencer, batches = make(max_batch=3)
+        for i in range(1, 8):
+            sequencer.submit(txn(i))
+        kernel.run_until(3_200.0)
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert [b.epoch for b in batches] == [1, 2, 3]
+
+    def test_epochs_monotonic(self):
+        kernel, sequencer, batches = make()
+        sequencer.submit(txn(1))
+        kernel.run_until(1_200.0)
+        sequencer.submit(txn(2))
+        kernel.run_until(2_200.0)
+        assert [b.epoch for b in batches] == [1, 2]
+
+
+class TestPriorityLane:
+    def test_system_txns_lead_the_batch(self):
+        kernel, sequencer, batches = make()
+        sequencer.submit(txn(1))
+        sequencer.submit_system(txn(99, TxnKind.TOPOLOGY))
+        sequencer.submit(txn(2))
+        kernel.run_until(1_200.0)
+        assert batches[0].ids() == [99, 1, 2]
+
+    def test_backlog_counts_both_lanes(self):
+        _kernel, sequencer, _batches = make()
+        sequencer.submit(txn(1))
+        sequencer.submit_system(txn(2, TxnKind.TOPOLOGY))
+        assert sequencer.backlog == 2

@@ -1,0 +1,170 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.kernel import AllOf, Delay, Kernel
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.call_later(30, fired.append, "c")
+        kernel.call_later(10, fired.append, "a")
+        kernel.call_later(20, fired.append, "b")
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        kernel = Kernel()
+        fired = []
+        for tag in range(5):
+            kernel.call_later(10, fired.append, tag)
+        kernel.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_at_boundary(self):
+        kernel = Kernel()
+        fired = []
+        kernel.call_later(10, fired.append, "early")
+        kernel.call_later(100, fired.append, "late")
+        kernel.run_until(50)
+        assert fired == ["early"]
+        assert kernel.now == 50
+        assert kernel.pending() == 1
+
+    def test_negative_delay_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.call_later(-1, lambda: None)
+
+    def test_clock_advances_to_event_time(self):
+        kernel = Kernel()
+        seen = []
+        kernel.call_later(42, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [42]
+
+
+class TestSimEvent:
+    def test_waiters_wake_on_trigger(self):
+        kernel = Kernel()
+        event = kernel.event("e")
+        got = []
+        event.add_waiter(got.append)
+        kernel.call_later(5, event.trigger, 123)
+        kernel.run()
+        assert got == [123]
+
+    def test_late_waiter_gets_value_immediately(self):
+        kernel = Kernel()
+        event = kernel.event()
+        event.trigger("v")
+        got = []
+        event.add_waiter(got.append)
+        kernel.run()
+        assert got == ["v"]
+
+    def test_double_trigger_rejected(self):
+        kernel = Kernel()
+        event = kernel.event()
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+
+class TestProcess:
+    def test_delay_advances_time(self):
+        kernel = Kernel()
+        log = []
+
+        def proc():
+            log.append(kernel.now)
+            yield Delay(100)
+            log.append(kernel.now)
+
+        kernel.process(proc())
+        kernel.run()
+        assert log == [0, 100]
+
+    def test_event_wait_receives_value(self):
+        kernel = Kernel()
+        event = kernel.event()
+        got = []
+
+        def proc():
+            value = yield event
+            got.append(value)
+
+        kernel.process(proc())
+        kernel.call_later(10, event.trigger, "hello")
+        kernel.run()
+        assert got == ["hello"]
+
+    def test_all_of_waits_for_every_event(self):
+        kernel = Kernel()
+        events = [kernel.event(str(i)) for i in range(3)]
+        got = []
+
+        def proc():
+            values = yield AllOf(events)
+            got.append((kernel.now, values))
+
+        kernel.process(proc())
+        kernel.call_later(10, events[2].trigger, "c")
+        kernel.call_later(20, events[0].trigger, "a")
+        kernel.call_later(30, events[1].trigger, "b")
+        kernel.run()
+        assert got == [(30, ["a", "b", "c"])]
+
+    def test_all_of_empty_resumes_immediately(self):
+        kernel = Kernel()
+        got = []
+
+        def proc():
+            values = yield AllOf([])
+            got.append(values)
+
+        kernel.process(proc())
+        kernel.run()
+        assert got == [[]]
+
+    def test_done_event_carries_return_value(self):
+        kernel = Kernel()
+
+        def proc():
+            yield Delay(1)
+            return 42
+
+        process = kernel.process(proc())
+        kernel.run()
+        assert process.done.triggered
+        assert process.done.value == 42
+
+    def test_unsupported_yield_raises(self):
+        kernel = Kernel()
+
+        def proc():
+            yield "nonsense"
+
+        kernel.process(proc())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_nested_processes(self):
+        kernel = Kernel()
+        log = []
+
+        def child():
+            yield Delay(5)
+            return "done"
+
+        def parent():
+            proc = kernel.process(child(), name="child")
+            value = yield proc.done
+            log.append((kernel.now, value))
+
+        kernel.process(parent())
+        kernel.run()
+        assert log == [(5, "done")]

@@ -1,0 +1,98 @@
+"""Unit tests for metric collectors."""
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    LatencyBreakdown,
+    TimeSeries,
+    WindowedRate,
+    merge_breakdowns,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+
+class TestTimeSeries:
+    def test_append_in_order(self):
+        series = TimeSeries("s")
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.mean() == 15.0
+        assert len(series) == 2
+
+    def test_rejects_time_regression(self):
+        series = TimeSeries("s")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_empty_mean_is_zero(self):
+        assert TimeSeries("s").mean() == 0.0
+
+
+class TestWindowedRate:
+    def test_counts_into_windows(self):
+        rate = WindowedRate("r", window_us=100.0)
+        for t in (10, 20, 150, 250, 260, 270):
+            rate.record(t)
+        series = rate.series(until=300.0)
+        assert series.values == [2.0, 1.0, 3.0]
+
+    def test_empty_windows_padded_with_zero(self):
+        rate = WindowedRate("r", window_us=100.0)
+        rate.record(10)
+        rate.record(450)
+        series = rate.series(until=500.0)
+        assert series.values == [1.0, 0.0, 0.0, 0.0, 1.0]
+
+    def test_total(self):
+        rate = WindowedRate("r", window_us=10.0)
+        rate.record(1, 2.0)
+        rate.record(11, 3.0)
+        assert rate.total() == 5.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WindowedRate("r", window_us=0)
+
+
+class TestLatencyBreakdown:
+    def test_averages(self):
+        breakdown = LatencyBreakdown()
+        breakdown.record({"scheduling": 10.0, "lock_wait": 20.0})
+        breakdown.record({"scheduling": 30.0, "remote_wait": 40.0})
+        averages = breakdown.averages()
+        assert averages["scheduling"] == 20.0
+        assert averages["lock_wait"] == 10.0
+        assert averages["remote_wait"] == 20.0
+        assert breakdown.average_total() == pytest.approx(50.0)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError):
+            LatencyBreakdown().record({"mystery": 1.0})
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown().record({"scheduling": -1.0})
+
+    def test_empty_averages_zero(self):
+        assert LatencyBreakdown().average_total() == 0.0
+
+    def test_merge(self):
+        a, b = LatencyBreakdown(), LatencyBreakdown()
+        a.record({"scheduling": 10.0})
+        b.record({"scheduling": 30.0})
+        merged = merge_breakdowns([a, b])
+        assert merged.count == 2
+        assert merged.averages()["scheduling"] == 20.0

@@ -1,0 +1,118 @@
+"""Unit tests for the per-node record store."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.store import RecordStore, state_fingerprint
+
+
+@pytest.fixture
+def store():
+    s = RecordStore(node_id=0)
+    for key in range(5):
+        s.load(key)
+    return s
+
+
+class TestBasics:
+    def test_load_and_read(self, store):
+        record = store.read(3)
+        assert record.version == 0
+        assert 3 in store
+        assert len(store) == 5
+
+    def test_double_load_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.load(3)
+
+    def test_read_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.read(99)
+
+
+class TestWrites:
+    def test_write_bumps_version_and_value(self, store):
+        before = store.read(1).value
+        pre = store.write(1, txn_id=7)
+        assert pre.version == 0
+        record = store.read(1)
+        assert record.version == 1
+        assert record.value != before
+
+    def test_writes_by_different_txns_differ(self):
+        a, b = RecordStore(0), RecordStore(1)
+        a.load(1)
+        b.load(1)
+        a.write(1, txn_id=10)
+        b.write(1, txn_id=20)
+        assert a.read(1).value != b.read(1).value
+
+    def test_restore_undoes_write(self, store):
+        pre = store.write(2, txn_id=5)
+        store.restore(pre)
+        record = store.read(2)
+        assert record.version == 0
+        assert record.value == pre.value
+
+
+class TestMigrationPrimitives:
+    def test_evict_install_roundtrip(self, store):
+        other = RecordStore(node_id=1)
+        record = store.evict(4)
+        other.install(record)
+        assert 4 not in store
+        assert other.read(4).version == 0
+
+    def test_evict_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.evict(99)
+
+    def test_double_install_raises(self, store):
+        other = RecordStore(1)
+        other.install(store.evict(0))
+        store.load(0)
+        with pytest.raises(StorageError):
+            other.install(store.evict(0))
+
+
+class TestSnapshots:
+    def test_snapshot_is_deep(self, store):
+        snap = store.snapshot()
+        store.write(0, txn_id=1)
+        assert snap[0].version == 0
+
+    def test_restore_snapshot(self, store):
+        snap = store.snapshot()
+        store.write(0, txn_id=1)
+        store.restore_snapshot(snap)
+        assert store.read(0).version == 0
+
+
+class TestFingerprint:
+    def test_identical_states_match(self):
+        a, b = RecordStore(0), RecordStore(0)
+        for key in range(10):
+            a.load(key)
+            b.load(key)
+        a.write(3, txn_id=9)
+        b.write(3, txn_id=9)
+        assert state_fingerprint([a]) == state_fingerprint([b])
+
+    def test_differing_write_changes_fingerprint(self):
+        a, b = RecordStore(0), RecordStore(0)
+        for key in range(10):
+            a.load(key)
+            b.load(key)
+        a.write(3, txn_id=9)
+        b.write(3, txn_id=8)
+        assert state_fingerprint([a]) != state_fingerprint([b])
+
+    def test_placement_is_ignored(self):
+        # Same records split across stores differently -> same fingerprint.
+        a1, a2 = RecordStore(0), RecordStore(1)
+        b1, b2 = RecordStore(0), RecordStore(1)
+        a1.load(1)
+        a2.load(2)
+        b1.load(2)
+        b2.load(1)
+        assert state_fingerprint([a1, a2]) == state_fingerprint([b1, b2])

@@ -1,0 +1,85 @@
+"""Unit tests for undo log, command log, and checkpoints."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.types import Batch, Transaction
+from repro.storage.store import RecordStore
+from repro.storage.wal import Checkpoint, CommandLog, UndoLog
+
+
+@pytest.fixture
+def store():
+    s = RecordStore(0)
+    for key in range(4):
+        s.load(key)
+    return s
+
+
+class TestUndoLog:
+    def test_rollback_restores_in_reverse(self, store):
+        undo = UndoLog()
+        undo.save(1, store.write(0, txn_id=1))
+        undo.save(1, store.write(0, txn_id=1))
+        assert store.read(0).version == 2
+        count = undo.rollback(1, store)
+        assert count == 2
+        assert store.read(0).version == 0
+
+    def test_forget_clears_entries(self, store):
+        undo = UndoLog()
+        undo.save(1, store.write(0, txn_id=1))
+        undo.forget(1)
+        assert undo.pending() == 0
+        assert undo.rollback(1, store) == 0
+        assert store.read(0).version == 1
+
+    def test_rollback_unknown_txn_is_noop(self, store):
+        assert UndoLog().rollback(42, store) == 0
+
+
+class TestCommandLog:
+    def _batch(self, epoch):
+        return Batch(epoch=epoch, txns=[Transaction.read_write(epoch, [1], [1])])
+
+    def test_append_and_iterate(self):
+        log = CommandLog()
+        log.append(self._batch(1))
+        log.append(self._batch(2))
+        assert len(log) == 2
+        assert [b.epoch for b in log] == [1, 2]
+
+    def test_epochs_must_increase(self):
+        log = CommandLog()
+        log.append(self._batch(2))
+        with pytest.raises(StorageError):
+            log.append(self._batch(2))
+
+    def test_batches_since(self):
+        log = CommandLog()
+        for epoch in (1, 2, 3):
+            log.append(self._batch(epoch))
+        assert [b.epoch for b in log.batches_since(1)] == [2, 3]
+
+
+class TestCheckpoint:
+    def test_capture_restore_roundtrip(self, store):
+        other = RecordStore(1)
+        other.load(100)
+        checkpoint = Checkpoint.capture(5, [store, other])
+        store.write(0, txn_id=9)
+        other.write(100, txn_id=9)
+        checkpoint.restore([store, other])
+        assert store.read(0).version == 0
+        assert other.read(100).version == 0
+
+    def test_restore_missing_node_raises(self, store):
+        checkpoint = Checkpoint.capture(1, [store])
+        stranger = RecordStore(7)
+        with pytest.raises(StorageError):
+            checkpoint.restore([stranger])
+
+    def test_snapshot_isolated_from_later_writes(self, store):
+        checkpoint = Checkpoint.capture(1, [store])
+        store.write(1, txn_id=3)
+        assert checkpoint.snapshots[0][1].version == 0

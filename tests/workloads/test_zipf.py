@@ -1,0 +1,81 @@
+"""Unit + statistical tests for the Zipf samplers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.workloads.zipf import MovingTwoSidedZipf, ZipfSampler
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG(77)
+
+
+class TestZipfSampler:
+    def test_range_and_determinism(self, rng):
+        a = ZipfSampler(100, 0.9, DeterministicRNG(5))
+        b = ZipfSampler(100, 0.9, DeterministicRNG(5))
+        sa = [a.sample() for _ in range(200)]
+        sb = [b.sample() for _ in range(200)]
+        assert sa == sb
+        assert all(0 <= s < 100 for s in sa)
+
+    def test_skew_prefers_low_ranks(self, rng):
+        sampler = ZipfSampler(1000, 0.9, rng)
+        samples = [sampler.sample() for _ in range(3000)]
+        head = sum(1 for s in samples if s < 100)
+        assert head > len(samples) * 0.4
+
+    def test_theta_zero_is_uniform_ish(self, rng):
+        sampler = ZipfSampler(10, 0.0, rng)
+        samples = [sampler.sample() for _ in range(5000)]
+        from collections import Counter
+        counts = Counter(samples)
+        assert min(counts.values()) > 300
+
+    def test_sample_distinct(self, rng):
+        sampler = ZipfSampler(50, 0.9, rng)
+        picks = sampler.sample_distinct(5)
+        assert len(set(picks)) == 5
+
+    def test_sample_distinct_overflow_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(3, 0.9, rng).sample_distinct(4)
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0, 0.9, rng)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, -1.0, rng)
+
+
+class TestMovingTwoSidedZipf:
+    def test_peak_sweeps_keyspace(self, rng):
+        dist = MovingTwoSidedZipf(1000, 0.9, cycle_us=1000.0, rng=rng)
+        assert dist.peak_at(0) == 0
+        assert dist.peak_at(500.0) == 500
+        assert dist.peak_at(1000.0) == 0  # wrapped
+
+    def test_samples_cluster_near_peak(self, rng):
+        dist = MovingTwoSidedZipf(10_000, 1.2, cycle_us=1e9, rng=rng)
+        now = 0.25e9  # peak at 2500
+        samples = [dist.sample(now) for _ in range(2000)]
+        near = sum(1 for s in samples if abs(s - 2500) < 500)
+        assert near > len(samples) * 0.5
+
+    def test_wraparound_stays_in_range(self, rng):
+        dist = MovingTwoSidedZipf(100, 0.5, cycle_us=10.0, rng=rng)
+        for t in (0.0, 3.0, 7.0, 9.9):
+            for _ in range(50):
+                assert 0 <= dist.sample(t) < 100
+
+    def test_phase_offsets_peak(self, rng):
+        dist = MovingTwoSidedZipf(100, 0.9, cycle_us=100.0, rng=rng, phase=0.5)
+        assert dist.peak_at(0) == 50
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ConfigurationError):
+            MovingTwoSidedZipf(100, 0.9, cycle_us=0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            MovingTwoSidedZipf(100, 0.9, cycle_us=10, rng=rng, phase=1.5)
