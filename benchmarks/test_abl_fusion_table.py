@@ -8,7 +8,6 @@ with LRU expected to evict less useful entries marginally less often.
 
 from __future__ import annotations
 
-from repro.bench.figures import google_comparison
 from repro.bench.presets import GOOGLE_BENCH
 from repro.bench.reporting import format_table
 from repro.bench.specs import make_strategy

@@ -11,7 +11,6 @@ cross-machine synchronization pays more).
 from __future__ import annotations
 
 from repro.bench.figures import google_comparison
-from repro.bench.presets import bench_scale
 
 SETTINGS = [(5, 5), (10, 5), (10, 10), (20, 5), (20, 10), (20, 20)]
 STRATEGIES = ["calvin", "leap", "hermes"]

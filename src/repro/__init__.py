@@ -22,6 +22,8 @@ Subpackages:
 * :mod:`repro.baselines` — Calvin, G-Store+, LEAP, T-Part, Clay, Squall,
   Schism
 * :mod:`repro.workloads` — Google-trace YCSB, TPC-C, multi-tenant, drivers
+* :mod:`repro.faults`    — crash/partition/straggler injection and the
+  deterministic-recovery chaos harness
 * :mod:`repro.bench`     — the experiment harness behind every figure
 """
 
@@ -45,7 +47,14 @@ from repro.core import (
     RoutingPlan,
     TxnPlan,
 )
-from repro.engine import Cluster, MigrationController, replay_command_log
+from repro.engine import (
+    Cluster,
+    DurableState,
+    MigrationController,
+    recover_from_crash,
+    replay_command_log,
+)
+from repro.faults import FaultInjector, FaultPlan
 from repro.storage import (
     HashPartitioner,
     LookupPartitioner,
@@ -62,7 +71,10 @@ __all__ = [
     "ClusterView",
     "CostModel",
     "DeterministicRNG",
+    "DurableState",
     "EngineConfig",
+    "FaultInjector",
+    "FaultPlan",
     "FusionConfig",
     "FusionTable",
     "HashPartitioner",
@@ -78,5 +90,6 @@ __all__ = [
     "TxnKind",
     "TxnPlan",
     "make_uniform_ranges",
+    "recover_from_crash",
     "replay_command_log",
 ]

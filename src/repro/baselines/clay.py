@@ -26,7 +26,7 @@ monitor consumes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import Batch, Key, NodeId

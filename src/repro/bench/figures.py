@@ -8,7 +8,7 @@ script) on top of :func:`repro.bench.harness.run_workload`.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.baselines.schism import schism_partition
 from repro.baselines.squall import SquallExecutor
@@ -21,7 +21,7 @@ from repro.bench.presets import (
     bench_trace_config,
 )
 from repro.bench.specs import StrategySpec, make_strategy
-from repro.common.config import FusionConfig, RoutingConfig
+from repro.common.config import FusionConfig
 from repro.common.rng import DeterministicRNG
 from repro.core.provisioning import HybridMigrationPlanner
 from repro.engine.cluster import Cluster

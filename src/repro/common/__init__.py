@@ -11,15 +11,18 @@ from repro.common.config import (
     CostModel,
     EngineConfig,
     FusionConfig,
+    RetryPolicy,
     RoutingConfig,
 )
 from repro.common.errors import (
     ConfigurationError,
+    FaultInjectionError,
     MigrationError,
     ReproError,
     RoutingError,
     SimulationError,
     StorageError,
+    TimeoutExceeded,
     TransactionAborted,
 )
 from repro.common.rng import DeterministicRNG, derive_seed
@@ -41,15 +44,18 @@ __all__ = [
     "DeterministicRNG",
     "EngineConfig",
     "ExecutionProfile",
+    "FaultInjectionError",
     "FusionConfig",
     "Key",
     "MigrationError",
     "NodeId",
     "ReproError",
+    "RetryPolicy",
     "RoutingConfig",
     "RoutingError",
     "SimulationError",
     "StorageError",
+    "TimeoutExceeded",
     "Transaction",
     "TransactionAborted",
     "TxnId",

@@ -49,6 +49,31 @@ class MigrationError(ReproError):
     """A live-migration step could not be applied consistently."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault plan or injection request is invalid.
+
+    Examples: a partition naming a node outside the cluster, a loss
+    probability outside [0, 1], or enabling probabilistic faults on a
+    network that has no fault RNG installed.
+    """
+
+
+class TimeoutExceeded(ReproError):
+    """A retried operation exhausted its :class:`RetryPolicy` budget.
+
+    Raised when a reliable message (remote read, migration chunk
+    transfer, write-back) is still undelivered after the final retry
+    attempt's timeout — in practice, a partition or loss episode that
+    outlasted the configured backoff horizon.
+    """
+
+    def __init__(self, description: str, attempts: int) -> None:
+        super().__init__(
+            f"{description} undelivered after {attempts} attempts"
+        )
+        self.attempts = attempts
+
+
 class TransactionAborted(ReproError):
     """A transaction aborted due to its own logic (user abort).
 

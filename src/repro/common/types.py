@@ -177,3 +177,12 @@ class Batch:
     def ids(self) -> list[TxnId]:
         """Transaction ids in batch order."""
         return [t.txn_id for t in self.txns]
+
+    def clone(self) -> "Batch":
+        """Copy of the batch with a fresh transaction list.
+
+        Transactions themselves are immutable and shared; the list copy
+        isolates receiver-side mutation — used when one sequenced batch
+        is delivered to several replicas or re-delivered after a crash.
+        """
+        return Batch(epoch=self.epoch, txns=list(self.txns))

@@ -16,7 +16,7 @@ ownership view with the active topology.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, MutableMapping, Protocol
+from typing import Iterable, Protocol
 
 from repro.common.errors import RoutingError
 from repro.common.types import Batch, Key, NodeId, Transaction, TxnKind

@@ -16,12 +16,18 @@ from repro.engine.locks import LockManager, LockMode
 from repro.engine.migration import MigrationController
 from repro.engine.node import Node, WorkerPool
 from repro.engine.ollp import OLLP, DependentTxnSpec
-from repro.engine.recovery import replay_command_log
-from repro.engine.replication import ReplicatedDeployment
+from repro.engine.recovery import (
+    DurableState,
+    recover_from_crash,
+    replay_command_log,
+)
+from repro.engine.replication import FailoverReport, ReplicatedDeployment
 from repro.engine.sequencer import Sequencer
 
 __all__ = [
     "Cluster",
+    "DurableState",
+    "FailoverReport",
     "LockManager",
     "LockMode",
     "DependentTxnSpec",
@@ -31,5 +37,6 @@ __all__ = [
     "ReplicatedDeployment",
     "Sequencer",
     "WorkerPool",
+    "recover_from_crash",
     "replay_command_log",
 ]

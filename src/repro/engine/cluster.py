@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.common.config import ClusterConfig
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import Batch, Key, NodeId, Transaction, TxnKind
 from repro.core.router import ClusterView, KeyOverlay, OwnershipView, Router
 from repro.engine.executor import TxnRuntime
@@ -82,6 +82,9 @@ class Cluster:
         self._scheduler_free_at = 0.0
         self._commit_callbacks: dict[int, list[Callable]] = {}
         self.epochs_delivered = 0
+        self.commit_listeners: list[Callable[[TxnRuntime], None]] = []
+        self._reorder_buffer: dict[int, Batch] = {}
+        self._next_expected_epoch: int | None = None
 
     # ------------------------------------------------------------------
     # Data loading and client API
@@ -162,6 +165,51 @@ class Cluster:
         self._unfinished += len(batch)
         self._on_batch(batch)
 
+    def inject_batch_ordered(self, batch: Batch) -> None:
+        """Inject a batch, buffering until its epoch is next in line.
+
+        WAN replication and crash re-delivery can present epochs out of
+        order (a fast link overtaking a slow one, a promoted primary
+        cutting new batches while old ones are still in flight).  The
+        reorder buffer releases batches strictly in epoch order, so every
+        cluster processes the *same* total order — the invariant all the
+        determinism guarantees rest on.  The transactions count as
+        unfinished from arrival, even while buffered.
+        """
+        self._unfinished += len(batch)
+        self._deliver_in_epoch_order(batch)
+
+    def deliver_ordered(self, batch: Batch) -> None:
+        """Epoch-ordered delivery for batches already counted unfinished
+        (the sequencer-tee path of a promoted primary)."""
+        self._deliver_in_epoch_order(batch)
+
+    def set_next_expected_epoch(self, epoch: int) -> None:
+        """Anchor the reorder buffer (used after checkpointed replay,
+        where ``epochs_delivered`` no longer equals the last epoch)."""
+        self._next_expected_epoch = epoch
+
+    def _deliver_in_epoch_order(self, batch: Batch) -> None:
+        if self._next_expected_epoch is None:
+            # Lazy anchor: valid whenever delivered epochs are the
+            # contiguous prefix 1..epochs_delivered (fresh clusters,
+            # replicas fed from epoch 1).
+            self._next_expected_epoch = self.epochs_delivered + 1
+        if batch.epoch in self._reorder_buffer:
+            raise SimulationError(
+                f"duplicate injection of epoch {batch.epoch}"
+            )
+        self._reorder_buffer[batch.epoch] = batch
+        while self._next_expected_epoch in self._reorder_buffer:
+            ready = self._reorder_buffer.pop(self._next_expected_epoch)
+            self._next_expected_epoch += 1
+            self._on_batch(ready)
+
+    @property
+    def buffered_epochs(self) -> int:
+        """Batches parked in the reorder buffer (diagnostics)."""
+        return len(self._reorder_buffer)
+
     def _dispatch(self, plan, t_sequenced: float) -> None:
         now = self.kernel.now
         for txn_plan in plan:
@@ -195,6 +243,8 @@ class Cluster:
         callbacks = self._commit_callbacks.pop(runtime.txn.txn_id, ())
         for callback in callbacks:
             callback(runtime)
+        for listener in self.commit_listeners:
+            listener(runtime)
 
     # ------------------------------------------------------------------
     # Running and inspection

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.common.types import Key, NodeId, TxnKind
+from repro.common.types import Key, NodeId
 from repro.core.plan import TxnPlan
 from repro.engine.locks import LockMode
 from repro.sim.kernel import SimEvent
@@ -132,6 +132,9 @@ class TxnRuntime:
             for master in plan.masters
         }
         self._inbox: dict[NodeId, list[Record]] = {m: [] for m in plan.masters}
+        self._received_from: dict[NodeId, set[NodeId]] = {
+            m: set() for m in plan.masters
+        }
         self._values: dict[NodeId, dict[Key, int]] = {
             m: {} for m in plan.masters
         }
@@ -239,11 +242,13 @@ class TxnRuntime:
             if master == loc:
                 continue
             shipped = records if master == self.coordinator else []
-            cluster.network.send(
+            cluster.network.send_reliable(
                 loc,
                 master,
                 payload,
                 self._make_delivery(master, loc, shipped, values),
+                cluster.config.retry,
+                describe=f"remote read txn {self.txn.txn_id}",
             )
             cluster.metrics.remote_reads += len(keys)
 
@@ -272,6 +277,13 @@ class TxnRuntime:
         records: list[Record],
         values: dict[Key, int],
     ) -> None:
+        # Idempotent redelivery: the reliable channel already suppresses
+        # duplicates, but a master must also tolerate a retransmitted
+        # read message arriving through any path — installing the same
+        # records twice would corrupt the store.
+        if loc in self._received_from[master]:
+            return
+        self._received_from[master].add(loc)
         self._inbox[master].extend(records)
         self._values[master].update(values)
         expected = self._expected_from[master]
@@ -421,11 +433,13 @@ class TxnRuntime:
             ]
             cluster.nodes[self.coordinator].records_migrated_out += len(moves)
             payload = CONTROL_BYTES + record_bytes * len(moves)
-            cluster.network.send(
+            cluster.network.send_reliable(
                 self.coordinator,
                 dst,
                 payload,
                 self._make_writeback_install(dst, records),
+                cluster.config.retry,
+                describe=f"writeback txn {self.txn.txn_id}",
             )
             cluster.metrics.writebacks += len(moves)
 
@@ -452,7 +466,6 @@ class TxnRuntime:
     def _start_evictions(self) -> None:
         if not self.plan.evictions:
             return
-        cluster = self.cluster
 
         def launch(_value=None) -> None:
             by_route: dict[tuple[NodeId, NodeId], list] = {}
@@ -490,7 +503,14 @@ class TxnRuntime:
 
                 cluster.nodes[dst].workers.submit(cpu, installed)
 
-            cluster.network.send(src, dst, payload, arrived)
+            cluster.network.send_reliable(
+                src,
+                dst,
+                payload,
+                arrived,
+                cluster.config.retry,
+                describe=f"eviction txn {self.txn.txn_id}",
+            )
             cluster.metrics.evictions += len(moves)
 
         cluster.nodes[src].workers.submit(

@@ -28,6 +28,8 @@ class MigrationController:
         self.chunks_committed = 0
         self.active = False
         self._on_complete: Callable[[], None] | None = None
+        self._cancelled = False
+        self._remaining: list[ChunkMigration] = []
 
     def start(
         self,
@@ -39,10 +41,31 @@ class MigrationController:
         if self.active:
             raise RuntimeError("a migration is already in progress")
         self.active = True
+        self._cancelled = False
         self._on_complete = on_complete
         self._submit_next(list(plan.chunks))
 
+    def cancel(self) -> list[ChunkMigration]:
+        """Stop submitting further chunks; return the unsubmitted rest.
+
+        Chunks already in the sequencer keep their total-order position
+        and will commit — cancellation only prevents *new* chunks, so a
+        degraded cluster (node crash, partition) can pause background
+        migration and resume later from the returned remainder.
+        """
+        self._cancelled = True
+        self.active = False
+        remaining, self._remaining = self._remaining, []
+        return remaining
+
+    @property
+    def remaining_chunks(self) -> int:
+        """Chunks planned but not yet handed to the sequencer."""
+        return len(self._remaining)
+
     def _submit_next(self, remaining: list[ChunkMigration]) -> None:
+        if self._cancelled:
+            return
         if not remaining:
             self.active = False
             if self._on_complete is not None:
@@ -50,6 +73,7 @@ class MigrationController:
             return
         chunk = remaining[0]
         rest = remaining[1:]
+        self._remaining = rest
         txn = Transaction(
             txn_id=self.cluster.next_txn_id(),
             read_set=frozenset(chunk.keys),

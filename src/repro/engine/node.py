@@ -50,8 +50,21 @@ class WorkerPool:
         self._idle: deque[SimEvent] = deque()
         self.busy_us_total = 0.0
         self.busy_rate = WindowedRate(f"busy:{node_id}", busy_window_us)
+        self.slowdown = 1.0
         for index in range(num_workers):
             kernel.process(self._worker(), name=f"worker:{node_id}:{index}")
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale every subsequent CPU burst by ``factor`` (>= 1).
+
+        Models a straggler node (CPU contention, thermal throttling):
+        tasks take ``factor`` times longer from the moment they start
+        executing.  Bursts already in progress finish at their original
+        speed; ``factor`` 1.0 restores normal service.
+        """
+        if factor < 1.0:
+            raise SimulationError(f"slowdown factor {factor} must be >= 1")
+        self.slowdown = factor
 
     def submit(self, cpu_us: float, done: Callable[[], None]) -> None:
         """Queue a CPU burst; ``done`` fires when it finishes."""
@@ -86,9 +99,12 @@ class WorkerPool:
                 task = yield wake
             from repro.sim.kernel import Delay
 
-            yield Delay(task.cpu_us)
-            self.busy_us_total += task.cpu_us
-            self.busy_rate.record(self.kernel.now, task.cpu_us)
+            # Slowdown is sampled when the burst starts, so a straggler
+            # window stretches exactly the work that ran inside it.
+            cost = task.cpu_us * self.slowdown
+            yield Delay(cost)
+            self.busy_us_total += cost
+            self.busy_rate.record(self.kernel.now, cost)
             task.done()
 
     def queued(self) -> int:

@@ -10,16 +10,21 @@ lets a replica take over instantly on failure.
 :class:`ReplicatedDeployment` models that architecture: one primary
 :class:`Cluster` plus N replica clusters, all built identically.  Each
 sequenced batch is forwarded to every replica after a configurable WAN
-delay (replicas *lag*, they never diverge).  The deployment exposes:
+delay; replicas deliver strictly in epoch order (a reorder buffer absorbs
+link jitter), so they *lag* but never diverge.  The deployment exposes:
 
-* ``submit`` — client entry point (to the primary's sequencer);
+* ``submit`` — client entry point, always routed to the current primary;
 * ``converged`` / ``divergence_report`` — consistency checks;
-* ``fail_over`` — declare the primary dead and promote a replica: the
-  promoted cluster finishes replaying whatever input it has already
-  received and simply continues; clients lose only the transactions
-  whose batches had not yet been forwarded (the paper's availability
-  story — bounded by the WAN forwarding delay, with no recovery replay
-  needed at the survivor).
+* ``fail_over`` — declare the primary dead mid-flight and promote a
+  replica: the dead primary's forwarding tee is detached, the promoted
+  cluster continues the epoch numbering where the dead primary's
+  forwarded stream left off, keeps forwarding to the surviving replicas,
+  and takes over ``submit``.  Batches already inside the WAN are *not*
+  lost (they are scheduled deliveries and arrive in epoch order); what is
+  lost is exactly the input that never left the dead primary — its
+  sequencer backlog and batches still inside the ordering latency — and
+  ``fail_over`` reports that window precisely as a
+  :class:`FailoverReport` so clients know what to resubmit.
 
 All replicas run in one simulation kernel-per-cluster; time is advanced
 in lock-step by :meth:`run_until` so WAN lag is modelled faithfully.
@@ -27,12 +32,37 @@ in lock-step by :meth:`run_until` so WAN lag is modelled faithfully.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
-from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.common.types import Batch, Transaction
+from repro.common.types import Batch, Transaction, TxnId
 from repro.engine.cluster import Cluster
+
+
+@dataclass(frozen=True, slots=True)
+class FailoverReport:
+    """Exactly what a failover lost, and when.
+
+    ``lost_txn_ids`` are the transactions that had been accepted by the
+    dead primary but never forwarded to any replica: its sequencer
+    backlog plus batches still inside the ordering latency.  They fall
+    in the window ``(window_start_us, window_end_us]`` of primary time —
+    bounded by the ordering latency plus one epoch, the paper's
+    availability story (clients resubmit only this window; everything
+    forwarded survives the WAN and replays deterministically).
+    """
+
+    promoted_index: int
+    at_us: float
+    lost_txn_ids: tuple[TxnId, ...]
+    lost_batches: int
+    window_start_us: float
+    window_end_us: float
+
+    @property
+    def lost_count(self) -> int:
+        return len(self.lost_txn_ids)
 
 
 class ReplicatedDeployment:
@@ -52,45 +82,56 @@ class ReplicatedDeployment:
         self.primary = build_cluster()
         self.replicas = [build_cluster() for _ in range(num_replicas)]
         self.forwarded_batches = 0
-        self._failed_over = False
-        self._install_forwarding()
+        self.failovers: list[FailoverReport] = []
+        self._detach_tee: Callable[[], None] = lambda: None
+        self._install_forwarding(self.primary, ordered_local=False)
 
     # ------------------------------------------------------------------
     # Input replication
     # ------------------------------------------------------------------
 
-    def _install_forwarding(self) -> None:
-        """Tee the primary's sequenced batches to every replica.
+    def _install_forwarding(
+        self, source: Cluster, ordered_local: bool
+    ) -> None:
+        """Tee ``source``'s sequenced batches to the current replicas.
 
-        Installed on the sequencer's delivery callback (the sequencer
-        holds the only reference that matters), wrapping the primary's
-        normal batch pipeline.
+        The tee wraps the sequencer's delivery callback.  The original
+        primary delivers locally in cut order (trivially epoch order);
+        a *promoted* primary may still have older epochs in WAN flight,
+        so its local deliveries go through the epoch reorder buffer
+        (``ordered_local``).  The replica list is read at call time, so
+        survivors keep receiving input after later failovers.
         """
-        original_deliver = self.primary.sequencer.deliver
+        original_deliver = source.sequencer.deliver
 
         def forwarding_deliver(batch: Batch) -> None:
-            original_deliver(batch)
+            if ordered_local:
+                source.deliver_ordered(batch)
+            else:
+                original_deliver(batch)
             self.forwarded_batches += 1
             for replica in self.replicas:
-                # Deliver the same ordered batch after the WAN delay.  A
-                # copy of the txn list isolates replica-side mutation.
-                clone = Batch(epoch=batch.epoch, txns=list(batch.txns))
+                # Deliver the same ordered batch after the WAN delay; the
+                # clone isolates replica-side mutation and the ordered
+                # injection pins the global epoch order at the receiver.
                 replica.kernel.call_later(
-                    max(0.0, self.primary.kernel.now + self.wan_delay_us
+                    max(0.0, source.kernel.now + self.wan_delay_us
                         - replica.kernel.now),
-                    replica.inject_batch,
-                    clone,
+                    replica.inject_batch_ordered,
+                    batch.clone(),
                 )
 
-        self.primary.sequencer.deliver = forwarding_deliver
+        source.sequencer.deliver = forwarding_deliver
+        self._detach_tee = lambda: setattr(
+            source.sequencer, "deliver", original_deliver
+        )
 
     def submit(self, txn: Transaction, on_commit=None) -> None:
-        """Client entry point: submit to the (current) primary."""
-        if self._failed_over:
-            raise SimulationError(
-                "deployment already failed over; submit to the promotion "
-                "result instead"
-            )
+        """Client entry point: submit to the *current* primary.
+
+        After a failover this transparently routes to the promoted
+        cluster — callers keep submitting through the deployment.
+        """
         self.primary.submit(txn, on_commit=on_commit)
 
     # ------------------------------------------------------------------
@@ -164,16 +205,61 @@ class ReplicatedDeployment:
     # ------------------------------------------------------------------
 
     def fail_over(self, replica_index: int = 0) -> Cluster:
-        """Kill the primary; promote a replica.
+        """Kill the primary mid-flight; promote a replica.
 
         The promoted replica already holds every forwarded batch in its
-        own pipeline — it needs *no* recovery protocol, only to finish
-        executing what it has (determinism guarantees it reaches exactly
-        the state the primary reached for those batches).  Returns the
-        promoted cluster; the caller resumes submitting to it.
+        own pipeline (some possibly still crossing the WAN — those are
+        scheduled deliveries and still arrive, in epoch order).  It needs
+        *no* recovery protocol: determinism guarantees it reaches exactly
+        the state the primary reached for the forwarded prefix.  The
+        promoted cluster takes over ``submit`` and keeps forwarding to
+        the surviving replicas, continuing the epoch numbering after the
+        last epoch the dead primary forwarded.  The transactions that
+        never left the dead primary — its backlog and batches inside the
+        ordering latency — are lost, and reported in
+        ``self.failovers[-1]`` so clients can resubmit them.
+
+        Returns the promoted cluster (also reachable as ``.primary``).
         """
         if not 0 <= replica_index < len(self.replicas):
             raise ConfigurationError(f"no replica {replica_index}")
-        self._failed_over = True
-        promoted = self.replicas[replica_index]
+        dead = self.primary
+        promoted = self.replicas.pop(replica_index)
+
+        # Detach the dead primary's forwarding tee: a dead sequencer must
+        # not keep teeing input at survivors (it is dead, and the tee
+        # holds references that would resurrect it).
+        self._detach_tee()
+
+        # The exact lost window: accepted input that never reached the
+        # forwarding tee.
+        lost: list[Transaction] = []
+        lost_batches = dead.sequencer.sequenced_in_flight()
+        for _cut_time, batch in lost_batches:
+            lost.extend(batch.txns)
+        priority, pending = dead.sequencer.backlog_snapshot()
+        lost.extend(priority)
+        lost.extend(pending)
+        window_start = (
+            min((t.arrival_time for t in lost), default=dead.kernel.now)
+        )
+        report = FailoverReport(
+            promoted_index=replica_index,
+            at_us=dead.kernel.now,
+            lost_txn_ids=tuple(t.txn_id for t in lost),
+            lost_batches=len(lost_batches),
+            window_start_us=window_start,
+            window_end_us=dead.kernel.now,
+        )
+        self.failovers.append(report)
+
+        # Epoch continuity: the promoted sequencer reuses the lost
+        # (never-forwarded) epoch numbers, continuing right after the
+        # last epoch the dead primary delivered to its tee.  This keeps
+        # every survivor's epoch stream gapless, which the reorder
+        # buffers rely on.
+        promoted.sequencer.restore_epoch(dead.epochs_delivered)
+
+        self.primary = promoted
+        self._install_forwarding(promoted, ordered_local=True)
         return promoted

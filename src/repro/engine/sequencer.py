@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.common.config import CostModel, EngineConfig
+from repro.common.errors import SimulationError
 from repro.common.types import Batch, Transaction
 from repro.sim.kernel import Kernel
 
@@ -36,6 +37,7 @@ class Sequencer:
         self.deliver = deliver
         self._pending: list[Transaction] = []
         self._priority: list[Transaction] = []
+        self._in_flight: list[tuple[float, Batch]] = []
         self._epoch = 0
         self.submitted = 0
         kernel.call_later(engine_config.epoch_us, self._cut_batch)
@@ -60,6 +62,44 @@ class Sequencer:
         """Transactions accepted but not yet sequenced."""
         return len(self._pending) + len(self._priority)
 
+    @property
+    def last_assigned_epoch(self) -> int:
+        """Highest epoch number handed out so far."""
+        return self._epoch
+
+    def backlog_snapshot(self) -> tuple[list[Transaction], list[Transaction]]:
+        """Copies of the (priority, pending) queues.
+
+        The accepted-but-unsequenced backlog lives in the ordering tier
+        (Zab keeps it durable in the real system), so crash recovery
+        captures it and resubmits it to the restarted cluster.
+        """
+        return list(self._priority), list(self._pending)
+
+    def sequenced_in_flight(self) -> list[tuple[float, Batch]]:
+        """``(cut_time, batch)`` for batches cut but not yet delivered.
+
+        These batches already hold their total-order position (the Zab
+        round assigned it at the cut), so a crash during the ordering
+        latency must not lose them — recovery re-delivers them after
+        replaying the command log.
+        """
+        return list(self._in_flight)
+
+    def restore_epoch(self, epoch: int) -> None:
+        """Fast-forward the epoch counter (crash recovery / failover).
+
+        A recovered cluster's sequencer must continue the global epoch
+        numbering where the durable state left off, and a promoted
+        replica must continue after the last epoch its dead primary
+        forwarded, or epoch-ordered delivery would see collisions.
+        """
+        if epoch < self._epoch:
+            raise SimulationError(
+                f"cannot rewind sequencer epoch {self._epoch} to {epoch}"
+            )
+        self._epoch = epoch
+
     def _cut_batch(self) -> None:
         capacity = self.config.max_batch_size
         take_priority = self._priority[:capacity]
@@ -72,7 +112,17 @@ class Sequencer:
         if txns:
             self._epoch += 1
             batch = Batch(epoch=self._epoch, txns=txns)
+            self._in_flight.append((self.kernel.now, batch))
             self.kernel.call_later(
-                self.costs.sequencer_latency_us, self.deliver, batch
+                self.costs.sequencer_latency_us, self._deliver_ordered, batch
             )
         self.kernel.call_later(self.config.epoch_us, self._cut_batch)
+
+    def _deliver_ordered(self, batch: Batch) -> None:
+        # The ordering latency is constant, so batches leave in-flight in
+        # FIFO order.  ``deliver`` is looked up late so wrappers installed
+        # after construction (replication tees) still apply.
+        self._in_flight = [
+            (t, b) for t, b in self._in_flight if b is not batch
+        ]
+        self.deliver(batch)

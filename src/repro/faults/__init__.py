@@ -1,0 +1,52 @@
+"""Fault injection and deterministic-recovery validation.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — declarative fault schedules
+  (:class:`FaultPlan` of crashes, partitions, loss, jitter, stragglers),
+  including bounded random plans drawn from a deterministic seed;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which turns a
+  plan's windowed faults into scheduled kernel events against one
+  cluster's network and worker pools;
+* :mod:`repro.faults.chaos` — the chaos harness: run a Google-trace YCSB
+  schedule under a plan (recovering from crashes via the durable tier)
+  and verify the paper's determinism invariant — the final state equals
+  the fault-free reference bit for bit, and no committed transaction is
+  ever lost.
+"""
+
+from repro.faults.chaos import (
+    ChaosConfig,
+    ChaosRunResult,
+    make_cluster_builder,
+    make_schedule,
+    run_chaos_trial,
+    run_reference,
+    verify_trial,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    JitterFault,
+    LinkLossFault,
+    PartitionFault,
+    StragglerFault,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosRunResult",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "JitterFault",
+    "LinkLossFault",
+    "PartitionFault",
+    "StragglerFault",
+    "make_cluster_builder",
+    "make_schedule",
+    "run_chaos_trial",
+    "run_reference",
+    "verify_trial",
+]

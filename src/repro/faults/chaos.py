@@ -1,0 +1,329 @@
+"""Chaos harness: run a workload under random faults, prove determinism.
+
+The paper's recovery story (Section 4.3) rests on one invariant: the
+database state is a pure function of the totally ordered input, so *any*
+failure that preserves the input order — crashes recovered by replay,
+partitions healed by retry, stragglers that merely slow execution — must
+produce a final state bit-identical to the fault-free run.  This module
+turns that claim into an executable check:
+
+1. :func:`make_schedule` pre-computes an open-loop arrival schedule from
+   the Google-trace YCSB workload.  Because the input is a pure function
+   of (seed, time) — no client feedback loop — faults change *timing*
+   but never *which* transactions arrive in *which order*.
+2. :func:`run_reference` runs the schedule fault-free and records the
+   final fingerprint and the applied-transaction set.
+3. :func:`run_chaos_trial` runs the same schedule under a
+   :class:`FaultPlan`.  Windowed faults are injected live; a crash
+   abandons the cluster mid-flight, rebuilds it from
+   :class:`~repro.engine.recovery.DurableState`, and resumes the
+   workload on a time axis shifted by a whole number of epochs — the
+   shift keeps every remaining arrival in the same position of the
+   sequencer's epoch grid, so recovery reproduces the reference batch
+   composition exactly.
+4. :func:`verify_trial` compares trial to reference: equal fingerprints,
+   no committed transaction lost, every retry drained.
+
+``benchmarks/test_chaos_determinism.py`` sweeps dozens of random plans
+through this harness; ``tests/faults/test_chaos.py`` runs a fast subset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import FaultInjectionError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import Transaction, TxnId
+from repro.core import PrescientRouter
+from repro.engine.cluster import Cluster
+from repro.engine.recovery import DurableState, recover_from_crash
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.storage.partitioning import make_uniform_ranges
+from repro.workloads.google_trace import GoogleTraceConfig, SyntheticGoogleTrace
+from repro.workloads.ycsb import GoogleYCSBWorkload, YCSBConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Shape of one chaos experiment (sized for fast CI by default)."""
+
+    num_nodes: int = 4
+    num_keys: int = 4_000
+    num_txns: int = 400
+    mean_gap_us: float = 500.0
+    """Mean exponential inter-arrival gap of the open-loop schedule."""
+
+    trace_duration_s: float = 30.0
+    max_time_us: float = 120_000_000.0
+    """Drain budget per run — generous next to the retry horizon."""
+
+    @property
+    def horizon_us(self) -> float:
+        """Nominal span of the arrival schedule (fault-placement window)."""
+        return self.num_txns * self.mean_gap_us
+
+
+@dataclass(slots=True)
+class ChaosRunResult:
+    """Outcome of one run (reference or trial)."""
+
+    fingerprint: int
+    applied: frozenset[TxnId]
+    """Transactions that finished (committed or deterministically
+    aborted) — for a crash trial, the durable log's transactions plus
+    everything finished after recovery."""
+
+    crashed: bool = False
+    recovery_offset_us: float = 0.0
+    messages_dropped: int = 0
+    retries_sent: int = 0
+    duplicates_suppressed: int = 0
+    problems: list[str] = field(default_factory=list)
+    """Internal-invariant violations observed during the run itself."""
+
+
+def make_schedule(
+    config: ChaosConfig, seed: int
+) -> list[tuple[float, Transaction]]:
+    """Pre-compute the open-loop arrival schedule for one seed.
+
+    Returns ``(arrival_us, txn)`` pairs in arrival order, minted from the
+    Google-trace YCSB generator.  The schedule is computed *before* any
+    cluster exists, so it is identical across the reference run and every
+    fault trial — the independence that makes fingerprint equality a
+    sound check.
+    """
+    rng = DeterministicRNG(seed, "chaos")
+    trace = SyntheticGoogleTrace(
+        GoogleTraceConfig(
+            num_machines=config.num_nodes,
+            duration_s=config.trace_duration_s,
+        ),
+        rng,
+    )
+    workload = GoogleYCSBWorkload(
+        YCSBConfig(
+            num_keys=config.num_keys, num_partitions=config.num_nodes
+        ),
+        trace,
+        rng,
+    )
+    arrivals = rng.fork("arrivals")
+    schedule: list[tuple[float, Transaction]] = []
+    now = 0.0
+    for txn_id in range(1, config.num_txns + 1):
+        now += arrivals.expovariate(1.0 / config.mean_gap_us)
+        schedule.append((now, workload.make_txn(txn_id, now)))
+    return schedule
+
+
+def make_cluster_builder(config: ChaosConfig) -> Callable[[], Cluster]:
+    """A builder producing identical fresh clusters (required by replay)."""
+    cluster_config = ClusterConfig(num_nodes=config.num_nodes)
+
+    def build() -> Cluster:
+        cluster = Cluster(
+            cluster_config,
+            PrescientRouter(cluster_config.routing),
+            make_uniform_ranges(config.num_keys, config.num_nodes),
+            keep_command_log=True,
+        )
+        cluster.load_data(range(config.num_keys))
+        return cluster
+
+    return build
+
+
+def _submit_schedule(
+    cluster: Cluster,
+    schedule: list[tuple[float, Transaction]],
+    after_us: float = -1.0,
+    offset_us: float = 0.0,
+) -> None:
+    for arrival, txn in schedule:
+        if arrival > after_us:
+            cluster.kernel.call_at(arrival + offset_us, cluster.submit, txn)
+
+
+def _track_applied(cluster: Cluster, into: set[TxnId]) -> None:
+    cluster.commit_listeners.append(lambda rt: into.add(rt.txn.txn_id))
+
+
+def run_reference(
+    config: ChaosConfig,
+    schedule: list[tuple[float, Transaction]],
+    build_cluster: Callable[[], Cluster],
+) -> ChaosRunResult:
+    """Run the schedule fault-free; the ground truth for every trial."""
+    cluster = build_cluster()
+    applied: set[TxnId] = set()
+    _track_applied(cluster, applied)
+    _submit_schedule(cluster, schedule)
+    cluster.run_until_quiescent(config.max_time_us)
+    problems = _postconditions(cluster)
+    return ChaosRunResult(
+        fingerprint=cluster.state_fingerprint(),
+        applied=frozenset(applied),
+        problems=problems,
+    )
+
+
+def run_chaos_trial(
+    config: ChaosConfig,
+    schedule: list[tuple[float, Transaction]],
+    build_cluster: Callable[[], Cluster],
+    plan: FaultPlan,
+    rng: DeterministicRNG,
+) -> ChaosRunResult:
+    """Run the schedule under ``plan``; crash-recover if the plan crashes.
+
+    The crash path is the interesting one.  At the crash instant ``T``
+    the cluster object is abandoned (the execution tier died) and its
+    durable tier captured.  A fresh cluster replays the command log,
+    which ends at kernel time ``R``.  The workload then resumes shifted
+    by ``O = k * epoch_us``, the smallest whole number of epochs with
+    ``T + O > R``:
+
+    * the sequencer backlog is resubmitted at kernel ``T + O`` (its
+      virtual crash-time position, in captured order),
+    * sequenced-but-undelivered batches are re-delivered at their
+      original delivery times plus ``O`` through the epoch reorder
+      buffer,
+    * arrivals after ``T`` are submitted at their schedule times plus
+      ``O``.
+
+    Because ``O`` is a whole number of epochs, the sequencer's cut grid
+    in kernel time coincides with the virtual grid — every transaction
+    falls into the *same epoch* as in the reference run, so batch
+    composition, routing, and lock order all replay exactly, and the
+    final fingerprint must match the fault-free reference.
+    """
+    crashes = plan.crashes()
+    cluster = build_cluster()
+    plan.validate(cluster.config.num_nodes)
+    FaultInjector(cluster, plan, rng).install()
+    applied: set[TxnId] = set()
+    _track_applied(cluster, applied)
+    _submit_schedule(cluster, schedule)
+
+    if not crashes:
+        cluster.run_until_quiescent(config.max_time_us)
+        return ChaosRunResult(
+            fingerprint=cluster.state_fingerprint(),
+            applied=frozenset(applied),
+            messages_dropped=cluster.network.messages_dropped,
+            retries_sent=cluster.network.retries_sent,
+            duplicates_suppressed=cluster.network.duplicates_suppressed,
+            problems=_postconditions(cluster),
+        )
+
+    crash_at = crashes[0].at_us
+    if crash_at >= config.max_time_us:
+        raise FaultInjectionError("crash scheduled after the drain budget")
+    cluster.run_until(crash_at)
+    durable = DurableState.capture(cluster)
+    pre_crash_applied = set(applied)
+    problems: list[str] = []
+    not_durable = pre_crash_applied - durable.sequenced_txn_ids()
+    if not_durable:
+        problems.append(
+            f"{len(not_durable)} applied txns missing from durable order"
+        )
+    dropped_before = cluster.network.messages_dropped
+    retries_before = cluster.network.retries_sent
+    dupes_before = cluster.network.duplicates_suppressed
+
+    # The execution tier is gone; rebuild from the durable tier.
+    recovered = recover_from_crash(
+        build_cluster, durable, max_time_us=config.max_time_us
+    )
+    replay_end = recovered.kernel.now
+    epoch_us = recovered.config.engine.epoch_us
+    whole_epochs = math.floor((replay_end - crash_at) / epoch_us) + 1
+    offset = max(0, whole_epochs) * epoch_us
+
+    post_applied: set[TxnId] = set()
+    _track_applied(recovered, post_applied)
+    FaultInjector(recovered, plan, rng).install(
+        from_virtual_us=crash_at, offset_us=offset
+    )
+    for txn in durable.backlog_priority + durable.backlog_pending:
+        recovered.kernel.call_at(crash_at + offset, recovered.submit, txn)
+    latency = recovered.config.costs.sequencer_latency_us
+    for cut_time, batch in durable.in_flight:
+        recovered.kernel.call_at(
+            cut_time + latency + offset,
+            recovered.inject_batch_ordered,
+            batch,
+        )
+    _submit_schedule(
+        recovered, schedule, after_us=crash_at, offset_us=offset
+    )
+    recovered.run_until_quiescent(config.max_time_us + offset)
+
+    logged: set[TxnId] = set()
+    for batch in durable.command_log:
+        logged.update(batch.ids())
+    final_applied = logged | post_applied
+    lost = pre_crash_applied - final_applied
+    if lost:
+        problems.append(f"{len(lost)} pre-crash applied txns lost")
+    problems.extend(_postconditions(recovered))
+    return ChaosRunResult(
+        fingerprint=recovered.state_fingerprint(),
+        applied=frozenset(final_applied),
+        crashed=True,
+        recovery_offset_us=offset,
+        messages_dropped=dropped_before + recovered.network.messages_dropped,
+        retries_sent=retries_before + recovered.network.retries_sent,
+        duplicates_suppressed=(
+            dupes_before + recovered.network.duplicates_suppressed
+        ),
+        problems=problems,
+    )
+
+
+def verify_trial(
+    trial: ChaosRunResult, reference: ChaosRunResult
+) -> list[str]:
+    """Every way the trial deviates from the fault-free reference.
+
+    An empty list is the chaos suite's pass condition: identical final
+    state, no committed transaction lost, no spurious transactions, and
+    all in-run invariants held.
+    """
+    problems = list(trial.problems)
+    if trial.fingerprint != reference.fingerprint:
+        problems.append(
+            f"fingerprint mismatch: {trial.fingerprint:#x} != "
+            f"{reference.fingerprint:#x}"
+        )
+    lost = reference.applied - trial.applied
+    if lost:
+        problems.append(f"{len(lost)} reference txns never applied")
+    extra = trial.applied - reference.applied
+    if extra:
+        problems.append(f"{len(extra)} txns applied that reference lacks")
+    return problems
+
+
+def _postconditions(cluster: Cluster) -> list[str]:
+    """Drain invariants every run must satisfy."""
+    problems: list[str] = []
+    if cluster.inflight:
+        problems.append(f"{cluster.inflight} transactions never finished")
+    if cluster.network.reliable_in_flight:
+        problems.append(
+            f"{cluster.network.reliable_in_flight} reliable messages "
+            "never delivered"
+        )
+    if cluster.buffered_epochs:
+        problems.append(
+            f"{cluster.buffered_epochs} epochs stuck in reorder buffer"
+        )
+    return problems

@@ -165,6 +165,15 @@ class Kernel:
         """Run ``fn(*args)`` at the current time, after pending events."""
         self.call_later(0.0, fn, *args)
 
+    def call_at(self, t: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``t``.
+
+        A time at or before the current clock runs as soon as possible
+        (the fault injector uses this to activate windows that were
+        already open when a recovered cluster resumes).
+        """
+        self.call_later(max(0.0, t - self.now), fn, *args)
+
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh one-shot event bound to this kernel."""
         return SimEvent(self, name=name)

@@ -5,8 +5,6 @@ import pytest
 from repro.bench.harness import run_workload
 from repro.bench.specs import make_strategy
 from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
-from repro.common.rng import DeterministicRNG
-from repro.storage.partitioning import make_uniform_ranges
 from repro.workloads.multitenant import (
     MultiTenantConfig,
     MultiTenantWorkload,

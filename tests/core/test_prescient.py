@@ -1,13 +1,12 @@
 """Unit tests for the prescient routing algorithm (Algorithm 1)."""
 
-import pytest
 
 from repro.common.config import CostModel, RoutingConfig
 from repro.common.types import Batch, Transaction, TxnKind
 from repro.core.fusion_table import FusionTable
 from repro.core.prescient import PrescientRouter
 from repro.core.router import ClusterView, OwnershipView
-from repro.storage.partitioning import RangePartitioner, make_uniform_ranges
+from repro.storage.partitioning import make_uniform_ranges
 
 
 def make_view(num_nodes=3, num_keys=300, overlay=None):

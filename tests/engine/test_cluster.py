@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.config import ClusterConfig, EngineConfig
 from repro.common.errors import ConfigurationError
-from repro.common.types import Transaction, TxnKind
+from repro.common.types import Transaction
 from repro.core.prescient import PrescientRouter
 from repro.baselines.calvin import CalvinRouter
 from repro.baselines.gstore import GStoreRouter

@@ -1,8 +1,7 @@
 """Scheduler-pipeline behaviour: serial routing and batch ordering."""
 
-from repro.common.config import ClusterConfig, CostModel, EngineConfig
-from repro.common.types import Batch, Transaction
-from repro.core.plan import RoutingPlan, TxnPlan
+from repro.common.config import ClusterConfig, EngineConfig
+from repro.common.types import Transaction
 from repro.core.router import Router
 from repro.baselines.calvin import CalvinRouter
 from repro.engine.cluster import Cluster

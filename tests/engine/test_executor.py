@@ -1,6 +1,5 @@
 """Focused tests of TxnRuntime mechanics: lock modes and release stages."""
 
-import pytest
 
 from repro.common.config import ClusterConfig, EngineConfig
 from repro.common.types import Transaction

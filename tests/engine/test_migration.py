@@ -87,6 +87,30 @@ class TestSquallExecutor:
         with pytest.raises(RuntimeError):
             controller.start(plan)
 
+    def test_cancel_stops_unsubmitted_chunks(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster, chunk_records=10)
+        plan = executor.plan_range(0, 3, 0, 50)
+        executor.start_plan(plan)
+        controller = executor.controller
+        # Let the first chunk commit, then pause the migration (graceful
+        # degradation under faults): submitted chunks finish, the rest
+        # are handed back for a later resume.
+        cluster.run_until_quiescent(60_000_000)
+        assert controller.chunks_committed >= 1
+        # Re-start a fresh plan and cancel before the second chunk goes in.
+        plan2 = executor.plan_range(3, 0, 0, 50)
+        executor.start_plan(plan2)
+        cluster.run_until(cluster.kernel.now + 1_000.0)
+        remaining = controller.cancel()
+        submitted_before = controller.chunks_submitted
+        assert not controller.active
+        assert len(remaining) + submitted_before - 5 == len(plan2.chunks)
+        cluster.run_until_quiescent(60_000_000)
+        # No further chunks were submitted after the cancel.
+        assert controller.chunks_submitted == submitted_before
+        assert cluster.lock_manager.outstanding() == 0
+
 
 class TestHermesScaleOut:
     def test_fusion_skips_hot_keys_in_chunks(self):

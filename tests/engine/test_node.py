@@ -75,6 +75,42 @@ class TestWorkerPool:
             WorkerPool(kernel, 0, 0, busy_window_us=1e6)
 
 
+class TestStragglerSlowdown:
+    def test_slowdown_stretches_task_time(self):
+        kernel, pool = make_pool(num_workers=1)
+        done = []
+        pool.set_slowdown(3.0)
+        pool.submit(100.0, lambda: done.append(kernel.now))
+        kernel.run_until(1_000.0)
+        assert done == [300.0]
+        assert pool.busy_us_total == pytest.approx(300.0)
+
+    def test_slowdown_applies_per_task_at_start(self):
+        kernel, pool = make_pool(num_workers=1)
+        done = []
+        pool.submit(100.0, lambda: done.append(kernel.now))
+        pool.submit(100.0, lambda: done.append(kernel.now))
+        kernel.call_later(50.0, pool.set_slowdown, 2.0)
+        kernel.run_until(1_000.0)
+        # The first burst already started and finishes at full speed;
+        # the second starts after the dial and runs stretched.
+        assert done == [100.0, 300.0]
+
+    def test_restore_to_normal(self):
+        kernel, pool = make_pool(num_workers=1)
+        pool.set_slowdown(4.0)
+        pool.set_slowdown(1.0)
+        done = []
+        pool.submit(100.0, lambda: done.append(kernel.now))
+        kernel.run_until(1_000.0)
+        assert done == [100.0]
+
+    def test_slowdown_below_one_rejected(self):
+        _kernel, pool = make_pool()
+        with pytest.raises(SimulationError):
+            pool.set_slowdown(0.5)
+
+
 class TestNode:
     def test_node_wires_store_and_workers(self):
         kernel = Kernel()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
-from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG
 from repro.common.types import Transaction
 from repro.core.fusion_table import FusionTable
@@ -104,10 +104,10 @@ class TestFailover:
             deployment.submit(txn)
         deployment.drain(60_000_000)
 
+        dead = deployment.primary
         promoted = deployment.fail_over(0)
-        assert promoted.state_fingerprint() == (
-            deployment.primary.state_fingerprint()
-        )
+        assert promoted is deployment.primary
+        assert promoted.state_fingerprint() == dead.state_fingerprint()
         # The survivor accepts new work immediately — no recovery pause.
         follow_up = Transaction.read_write(
             9_999, reads=[5], writes=[5],
@@ -117,13 +117,119 @@ class TestFailover:
         promoted.run_until_quiescent(promoted.kernel.now + 60_000_000)
         assert promoted.metrics.commits == 21
 
-    def test_submit_after_failover_rejected(self):
+    def test_submit_after_failover_routes_to_promoted(self):
+        # Regression: fail_over used to leave the deployment unusable
+        # (submit raised) and the dead primary's forwarding installed.
         deployment = ReplicatedDeployment(
-            build_factory(CalvinRouter), num_replicas=1
+            build_factory(CalvinRouter), num_replicas=2,
+            wan_delay_us=10_000.0,
         )
+        for txn in some_txns(10):
+            deployment.submit(txn)
+        deployment.drain(60_000_000)
+        promoted = deployment.fail_over(0)
+        deployment.submit(
+            Transaction.read_write(
+                5_000, reads=[7], writes=[7],
+                arrival_time=promoted.kernel.now,
+            )
+        )
+        deployment.drain(120_000_000)
+        assert promoted.metrics.commits == 11
+        # The surviving replica kept receiving input — from the promoted
+        # primary, not the dead one.
+        assert deployment.replicas[0].metrics.commits == 11
+        assert deployment.converged(), deployment.divergence_report()
+
+    def test_mid_flight_failover_no_divergence(self):
+        # The acceptance scenario: kill the primary while its last batch
+        # is still crossing the WAN.  The promoted replica buffers its
+        # own new epochs behind the in-flight ones (reorder buffer),
+        # serves new submissions, and drains with zero divergence.
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=2,
+            wan_delay_us=20_000.0,
+        )
+        for txn in some_txns(20):
+            deployment.submit(txn)
+        # Epoch 1 is cut at 5 ms, delivered at 5.4 ms, and lands on the
+        # replicas at ~25.4 ms; fail over at 10 ms, mid-WAN-flight.
+        deployment.run_until(10_000.0, step_us=1_000.0)
+        promoted = deployment.fail_over(0)
+        report = deployment.failovers[-1]
+        assert report.lost_count == 0  # everything had been forwarded
+        for i in range(10):
+            deployment.submit(
+                Transaction.read_write(
+                    6_000 + i, reads=[i], writes=[i],
+                    arrival_time=promoted.kernel.now,
+                )
+            )
+        deployment.drain(120_000_000)
+        assert deployment.divergence_report() == []
+        assert promoted.metrics.commits == 30
+        assert deployment.replicas[0].metrics.commits == 30
+
+    def test_failover_reports_lost_window(self):
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=1,
+            wan_delay_us=20_000.0,
+        )
+        txns = some_txns(20)
+        for txn in txns:
+            deployment.submit(txn)
+        # Stop inside the ordering latency of epoch 1 (cut at 5 ms,
+        # delivery at 5.4 ms): the whole batch is sequenced-in-flight.
+        deployment.run_until(5_200.0, step_us=100.0)
+        backlog = [
+            Transaction.read_write(
+                7_000 + i, reads=[i], writes=[i],
+                arrival_time=deployment.primary.kernel.now,
+            )
+            for i in range(5)
+        ]
+        for txn in backlog:
+            deployment.submit(txn)
+        promoted = deployment.fail_over(0)
+        report = deployment.failovers[-1]
+        expected = {t.txn_id for t in txns} | {t.txn_id for t in backlog}
+        assert set(report.lost_txn_ids) == expected
+        assert report.lost_batches == 1
+        assert report.at_us == pytest.approx(5_200.0)
+        assert report.window_start_us <= report.window_end_us
+        # The lost window never reaches the survivor: only new input does.
+        deployment.submit(
+            Transaction.read_write(
+                8_000, reads=[3], writes=[3],
+                arrival_time=promoted.kernel.now,
+            )
+        )
+        deployment.drain(120_000_000)
+        assert promoted.metrics.commits == 1
+        assert deployment.divergence_report() == []
+
+    def test_dead_primary_tee_detached(self):
+        # Regression: the dead primary's forwarding_deliver stayed
+        # installed, so a still-running "dead" sequencer kept teeing
+        # batches at the survivors.
+        deployment = ReplicatedDeployment(
+            build_factory(CalvinRouter), num_replicas=2,
+            wan_delay_us=10_000.0,
+        )
+        for txn in some_txns(10):
+            deployment.submit(txn)
+        deployment.drain(60_000_000)
+        dead = deployment.primary
         deployment.fail_over(0)
-        with pytest.raises(SimulationError):
-            deployment.submit(some_txns(1)[0])
+        survivor = deployment.replicas[0]
+        forwarded_before = deployment.forwarded_batches
+        epochs_before = survivor.epochs_delivered
+
+        dead.submit(some_txns(1, seed=9)[0])
+        dead.run_until_quiescent(dead.kernel.now + 60_000_000)
+        survivor.run_until(survivor.kernel.now + 60_000_000)
+        assert deployment.forwarded_batches == forwarded_before
+        assert survivor.epochs_delivered == epochs_before
 
     def test_bad_replica_index(self):
         deployment = ReplicatedDeployment(

@@ -1,6 +1,9 @@
 """Unit tests for the epoch sequencer."""
 
+import pytest
+
 from repro.common.config import CostModel, EngineConfig
+from repro.common.errors import SimulationError
 from repro.common.types import Transaction, TxnKind
 from repro.engine.sequencer import Sequencer
 from repro.sim.kernel import Kernel
@@ -81,3 +84,45 @@ class TestPriorityLane:
         sequencer.submit(txn(1))
         sequencer.submit_system(txn(2, TxnKind.TOPOLOGY))
         assert sequencer.backlog == 2
+
+
+class TestDurableOrderingState:
+    def test_backlog_snapshot_copies_both_lanes(self):
+        _kernel, sequencer, _batches = make()
+        sequencer.submit(txn(1))
+        sequencer.submit_system(txn(9, TxnKind.TOPOLOGY))
+        priority, pending = sequencer.backlog_snapshot()
+        assert [t.txn_id for t in priority] == [9]
+        assert [t.txn_id for t in pending] == [1]
+        priority.clear()  # snapshot is a copy, not the live queue
+        assert sequencer.backlog == 2
+
+    def test_in_flight_tracks_ordering_latency_window(self):
+        kernel, sequencer, batches = make(latency=500.0)
+        sequencer.submit(txn(1))
+        # Cut at 1000, delivered at 1500: in flight in between.
+        kernel.run_until(1_200.0)
+        in_flight = sequencer.sequenced_in_flight()
+        assert len(in_flight) == 1
+        cut_time, batch = in_flight[0]
+        assert cut_time == 1_000.0
+        assert batch.ids() == [1]
+        assert batches == []
+        kernel.run_until(1_600.0)
+        assert sequencer.sequenced_in_flight() == []
+        assert len(batches) == 1
+
+    def test_restore_epoch_fast_forwards_numbering(self):
+        kernel, sequencer, batches = make()
+        sequencer.restore_epoch(7)
+        assert sequencer.last_assigned_epoch == 7
+        sequencer.submit(txn(1))
+        kernel.run_until(1_200.0)
+        assert batches[0].epoch == 8
+
+    def test_restore_epoch_cannot_rewind(self):
+        kernel, sequencer, _batches = make()
+        sequencer.submit(txn(1))
+        kernel.run_until(1_200.0)
+        with pytest.raises(SimulationError):
+            sequencer.restore_epoch(0)

@@ -1,0 +1,120 @@
+"""Unit tests for the fault injector's scheduling against a live cluster."""
+
+from repro.common.rng import DeterministicRNG
+from repro.faults.chaos import ChaosConfig, make_cluster_builder
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    JitterFault,
+    LinkLossFault,
+    PartitionFault,
+    StragglerFault,
+)
+
+CFG = ChaosConfig(num_nodes=4, num_keys=400, num_txns=0)
+
+
+def build_cluster():
+    return make_cluster_builder(CFG)()
+
+
+def install(cluster, *events, from_virtual_us=0.0, offset_us=0.0):
+    injector = FaultInjector(
+        cluster, FaultPlan(events=tuple(events)), DeterministicRNG(5, "inj")
+    )
+    injector.install(from_virtual_us=from_virtual_us, offset_us=offset_us)
+    return injector
+
+
+class TestWindows:
+    def test_partition_window_blocks_then_heals(self):
+        cluster = build_cluster()
+        fault = PartitionFault(
+            start_us=1_000.0, duration_us=2_000.0, groups=((0, 1), (2, 3))
+        )
+        install(cluster, fault)
+        cluster.run_until(500.0)
+        assert not cluster.network.faults_active()
+        cluster.run_until(2_000.0)
+        assert cluster.network.faults_active()
+        cluster.run_until(4_000.0)
+        assert not cluster.network.faults_active()
+
+    def test_loss_and_jitter_rules_removed_at_end(self):
+        cluster = build_cluster()
+        install(
+            cluster,
+            LinkLossFault(start_us=100.0, duration_us=500.0,
+                          probability=0.5),
+            JitterFault(start_us=100.0, duration_us=500.0,
+                        max_extra_us=50.0),
+        )
+        cluster.run_until(300.0)
+        assert cluster.network.faults_active()
+        cluster.run_until(1_000.0)
+        assert not cluster.network.faults_active()
+
+    def test_straggler_slows_then_restores(self):
+        cluster = build_cluster()
+        fault = StragglerFault(
+            start_us=1_000.0, duration_us=1_000.0, node=2, slowdown=4.0
+        )
+        install(cluster, fault)
+        cluster.run_until(1_500.0)
+        assert cluster.nodes[2].workers.slowdown == 4.0
+        assert cluster.nodes[0].workers.slowdown == 1.0
+        cluster.run_until(3_000.0)
+        assert cluster.nodes[2].workers.slowdown == 1.0
+
+    def test_injector_counts_activations(self):
+        cluster = build_cluster()
+        injector = install(
+            cluster,
+            StragglerFault(start_us=100.0, duration_us=100.0, node=0,
+                           slowdown=2.0),
+            StragglerFault(start_us=400.0, duration_us=100.0, node=1,
+                           slowdown=2.0),
+        )
+        cluster.run_until(1_000.0)
+        assert injector.activations == 2
+        assert injector.deactivations == 2
+
+
+class TestResumeSemantics:
+    def test_windows_ended_before_resume_are_skipped(self):
+        cluster = build_cluster()
+        injector = install(
+            cluster,
+            StragglerFault(start_us=100.0, duration_us=100.0, node=0,
+                           slowdown=2.0),
+            from_virtual_us=500.0,
+        )
+        cluster.run_until(2_000.0)
+        assert injector.activations == 0
+
+    def test_straddling_window_reactivates_with_offset(self):
+        cluster = build_cluster()
+        # Virtual window [100, 2100); resume at virtual 1000 with the
+        # kernel shifted 5000 later: active on [6000, 7100) kernel time.
+        install(
+            cluster,
+            StragglerFault(start_us=100.0, duration_us=2_000.0, node=1,
+                           slowdown=3.0),
+            from_virtual_us=1_000.0,
+            offset_us=5_000.0,
+        )
+        cluster.run_until(5_500.0)
+        assert cluster.nodes[1].workers.slowdown == 1.0
+        cluster.run_until(6_500.0)
+        assert cluster.nodes[1].workers.slowdown == 3.0
+        cluster.run_until(7_500.0)
+        assert cluster.nodes[1].workers.slowdown == 1.0
+
+    def test_install_sets_fault_rng(self):
+        cluster = build_cluster()
+        assert cluster.network.fault_rng is None
+        install(
+            cluster,
+            LinkLossFault(start_us=0.0, duration_us=10.0, probability=0.5),
+        )
+        assert cluster.network.fault_rng is not None

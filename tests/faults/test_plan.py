@@ -1,0 +1,149 @@
+"""Unit tests for fault plans and their validation."""
+
+import pytest
+
+from repro.common.errors import FaultInjectionError
+from repro.common.rng import DeterministicRNG
+from repro.faults.plan import (
+    CrashFault,
+    FaultPlan,
+    JitterFault,
+    LinkLossFault,
+    PartitionFault,
+    StragglerFault,
+)
+
+
+class TestEventValidation:
+    def test_crash_at_zero_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            CrashFault(at_us=0.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            StragglerFault(start_us=-1.0, duration_us=10.0, node=0,
+                           slowdown=2.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            LinkLossFault(start_us=0.0, duration_us=0.0, probability=0.5)
+
+    def test_partition_needs_two_groups(self):
+        with pytest.raises(FaultInjectionError):
+            PartitionFault(start_us=0.0, duration_us=10.0, groups=((0, 1),))
+
+    def test_partition_groups_must_be_disjoint(self):
+        with pytest.raises(FaultInjectionError):
+            PartitionFault(
+                start_us=0.0, duration_us=10.0, groups=((0, 1), (1, 2))
+            )
+
+    def test_loss_probability_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            LinkLossFault(start_us=0.0, duration_us=10.0, probability=1.5)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            StragglerFault(start_us=0.0, duration_us=10.0, node=0,
+                           slowdown=0.5)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            JitterFault(start_us=0.0, duration_us=10.0, max_extra_us=-1.0)
+
+
+class TestPartitionLinks:
+    def test_severed_links_are_cross_group_directed(self):
+        fault = PartitionFault(
+            start_us=0.0, duration_us=10.0, groups=((0,), (1, 2))
+        )
+        links = set(fault.severed_links())
+        assert links == {(0, 1), (0, 2), (1, 0), (2, 0)}
+
+    def test_unlisted_nodes_unaffected(self):
+        fault = PartitionFault(
+            start_us=0.0, duration_us=10.0, groups=((0,), (1,))
+        )
+        links = set(fault.severed_links())
+        assert (0, 2) not in links and (2, 0) not in links
+
+
+class TestPlanValidation:
+    def test_at_most_one_crash(self):
+        plan = FaultPlan(
+            events=(CrashFault(at_us=10.0), CrashFault(at_us=20.0))
+        )
+        with pytest.raises(FaultInjectionError):
+            plan.validate(num_nodes=4)
+
+    def test_node_out_of_range(self):
+        plan = FaultPlan(
+            events=(
+                StragglerFault(start_us=0.0, duration_us=10.0, node=7,
+                               slowdown=2.0),
+            )
+        )
+        with pytest.raises(FaultInjectionError):
+            plan.validate(num_nodes=4)
+
+    def test_scheduled_excludes_crashes_and_sorts(self):
+        late = StragglerFault(start_us=50.0, duration_us=10.0, node=0,
+                              slowdown=2.0)
+        early = JitterFault(start_us=5.0, duration_us=10.0,
+                            max_extra_us=100.0)
+        plan = FaultPlan(events=(late, CrashFault(at_us=30.0), early))
+        assert plan.scheduled() == [early, late]
+        assert plan.crashes() == [CrashFault(at_us=30.0)]
+
+
+class TestRandomPlans:
+    def test_reproducible_from_seed(self):
+        make = lambda: FaultPlan.random(  # noqa: E731
+            DeterministicRNG(7, "plan"), num_nodes=4, horizon_us=100_000.0
+        )
+        assert make() == make()
+
+    def test_always_at_least_one_event(self):
+        for i in range(30):
+            plan = FaultPlan.random(
+                DeterministicRNG(i, "plan"),
+                num_nodes=4,
+                horizon_us=100_000.0,
+            )
+            assert plan.events
+            plan.validate(num_nodes=4)
+
+    def test_windows_bounded(self):
+        for i in range(30):
+            plan = FaultPlan.random(
+                DeterministicRNG(i, "bounds"),
+                num_nodes=4,
+                horizon_us=100_000.0,
+                max_window_us=50_000.0,
+            )
+            for event in plan.scheduled():
+                assert event.duration_us <= 50_000.0
+                assert 0.0 <= event.start_us <= 100_000.0
+
+    def test_variety_across_seeds(self):
+        kinds = set()
+        for i in range(40):
+            plan = FaultPlan.random(
+                DeterministicRNG(i, "variety"),
+                num_nodes=4,
+                horizon_us=100_000.0,
+            )
+            kinds.update(type(e).__name__ for e in plan.events)
+        assert kinds >= {
+            "CrashFault",
+            "PartitionFault",
+            "LinkLossFault",
+            "JitterFault",
+            "StragglerFault",
+        }
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.random(
+                DeterministicRNG(1), num_nodes=1, horizon_us=1_000.0
+            )

@@ -2,7 +2,6 @@
 
 from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
 from repro.common.rng import DeterministicRNG
-from repro.common.types import Transaction
 from repro.core.fusion_table import FusionTable
 from repro.core.prescient import PrescientRouter
 from repro.core.provisioning import HybridMigrationPlanner

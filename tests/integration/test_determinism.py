@@ -15,7 +15,6 @@ from repro.baselines.gstore import GStoreRouter
 from repro.baselines.leap import LeapRouter
 from repro.baselines.tpart import TPartRouter
 from repro.engine.cluster import Cluster
-from repro.storage.partitioning import make_uniform_ranges
 from repro.workloads.multitenant import (
     MultiTenantConfig,
     MultiTenantWorkload,
