@@ -12,6 +12,7 @@ run; Hermes beats all of them.
 from __future__ import annotations
 
 from repro.bench.figures import google_comparison
+from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
 
@@ -23,6 +24,7 @@ def test_fig06a_vs_lookback(run_bench, results_dir):
                 "schism1": (0.55, 0.95),   # trained on the late period
                 "schism2": (0.05, 0.45),   # trained on the early period
             },
+            jobs=bench_jobs(),
         )
     )
 

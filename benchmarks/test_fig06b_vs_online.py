@@ -11,13 +11,15 @@ baselines overall.
 from __future__ import annotations
 
 from repro.bench.figures import google_comparison
+from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
 
 def test_fig06b_vs_online(run_bench, results_dir):
     results = run_bench(
         lambda: google_comparison(
-            ["calvin", "gstore", "tpart", "leap", "hermes"]
+            ["calvin", "gstore", "tpart", "leap", "hermes"],
+            jobs=bench_jobs(),
         )
     )
 

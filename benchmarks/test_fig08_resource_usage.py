@@ -10,6 +10,7 @@ its dedicated migrations run.  T-Part burns slightly more CPU than LEAP.
 from __future__ import annotations
 
 from repro.bench.figures import google_comparison
+from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_table
 
 
@@ -18,6 +19,7 @@ def test_fig08_resource_usage(run_bench):
         lambda: google_comparison(
             ["calvin", "clay", "gstore", "tpart", "leap", "hermes"],
             duration_s=4.0,
+            jobs=bench_jobs(),
         )
     )
 

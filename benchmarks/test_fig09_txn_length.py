@@ -11,6 +11,7 @@ cross-machine synchronization pays more).
 from __future__ import annotations
 
 from repro.bench.figures import google_comparison
+from repro.bench.presets import bench_jobs
 
 SETTINGS = [(5, 5), (10, 5), (10, 10), (20, 5), (20, 10), (20, 20)]
 STRATEGIES = ["calvin", "leap", "hermes"]
@@ -28,6 +29,7 @@ def test_fig09_txn_length(run_bench):
                     "txn_len_mean": float(mean),
                     "txn_len_std": float(std),
                 },
+                jobs=bench_jobs(),
             )
             table[(mean, std)] = {r.strategy: r.throughput_per_s
                                   for r in results}

@@ -11,7 +11,8 @@ a look-back planner can exploit.
 
 from __future__ import annotations
 
-from repro.bench.figures import tpcc_comparison
+from repro.bench.figures import tpcc_sweep
+from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_table
 
 CONCENTRATIONS = [0.0, 0.5, 0.8, 0.9]
@@ -19,13 +20,11 @@ STRATEGIES = ["calvin", "clay", "tpart", "hermes"]
 
 
 def test_fig11_tpcc_hotspots(run_bench):
-    def experiment():
-        table = {}
-        for hot in CONCENTRATIONS:
-            table[hot] = tpcc_comparison(STRATEGIES, hot_fraction=hot)
-        return table
-
-    table = run_bench(experiment)
+    # The whole strategy × concentration grid goes into one fleet, so
+    # REPRO_BENCH_JOBS parallelism is not capped by the strategy count.
+    table = run_bench(
+        lambda: tpcc_sweep(STRATEGIES, CONCENTRATIONS, jobs=bench_jobs())
+    )
 
     print()
     for hot, results in table.items():

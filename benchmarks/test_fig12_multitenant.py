@@ -11,13 +11,16 @@ adapts fastest and is the most stable.
 from __future__ import annotations
 
 from repro.bench.figures import multitenant_comparison
+from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
 STRATEGIES = ["calvin", "tpart", "leap", "clay", "hermes"]
 
 
 def test_fig12_multitenant_moving_hotspot(run_bench, results_dir):
-    results = run_bench(lambda: multitenant_comparison(STRATEGIES))
+    results = run_bench(
+        lambda: multitenant_comparison(STRATEGIES, jobs=bench_jobs())
+    )
 
     print()
     print(format_table(results, "Figure 12 — multi-tenant, rotating hot spot"))

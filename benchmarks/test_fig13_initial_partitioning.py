@@ -14,6 +14,7 @@ Hermes is the only system good across all three.
 from __future__ import annotations
 
 from repro.bench.figures import multitenant_comparison
+from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_table
 from repro.workloads.multitenant import (
     MultiTenantConfig,
@@ -46,6 +47,7 @@ def test_fig13_initial_partitioning(run_bench):
                 config=config,
                 partitioner_factory=factory,
                 duration_s=4.0,
+                jobs=bench_jobs(),
             )
         return table
 

@@ -18,7 +18,8 @@ late-stage benefit on top of fusion-only.
 
 from __future__ import annotations
 
-from repro.bench.figures import scaleout_run
+from repro.bench.figures import scaleout_comparison
+from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
 VARIANTS = [
@@ -31,7 +32,9 @@ VARIANTS = [
 
 
 def test_fig14_scaleout(run_bench, results_dir):
-    results = run_bench(lambda: [scaleout_run(v) for v in VARIANTS])
+    results = run_bench(
+        lambda: scaleout_comparison(VARIANTS, jobs=bench_jobs())
+    )
 
     print()
     print(format_table(results, "Figure 14 — scale-out from 3 to 4 nodes"))

@@ -27,7 +27,7 @@ def main() -> None:
     for variant, description in variants.items():
         print(f"  {variant}: {description}")
         results[variant] = scaleout_run(variant, duration_s=12.0,
-                                        event_at_s=3.0)
+                                        event_at_s=3.0, keep_cluster=True)
 
     print("\nthroughput around the scale-out event (txns per 0.5 s window):")
     event_us = results["squall"].extras["event_us"]

@@ -38,7 +38,8 @@ def main() -> None:
 
     print("running calvin vs hermes at 80% hot-spot concentration ...")
     results = tpcc_comparison(
-        ["calvin", "hermes"], hot_fraction=0.8, duration_s=4.0
+        ["calvin", "hermes"], hot_fraction=0.8, duration_s=4.0,
+        keep_cluster=True,
     )
     print()
     print(format_table(results, "TPC-C, 80% of requests on node 0"))

@@ -55,9 +55,13 @@ class TPartRouter(Router):
         built: list[TxnPlan] = []
 
         for txn in user_txns:
+            keys = tuple(txn.full_set)
+            # The per-key code resolved every key's view owner eagerly
+            # (even when forward pushing overrode it); the bulk pass
+            # keeps that exact lookup sequence.
             locations = {
-                key: temp.get(key, view.ownership.owner(key))
-                for key in txn.full_set
+                key: temp.get(key, owner)
+                for key, owner in zip(keys, view.ownership.owners_bulk(keys))
             }
             master = self._choose_master(locations, loads, theta, active)
             loads[master] += 1
@@ -65,7 +69,7 @@ class TPartRouter(Router):
             reads_from: dict[NodeId, set[Key]] = {}
             migrations: list[Migration] = []
             index = len(built)
-            for key in txn.full_set:
+            for key in keys:
                 location = locations[key]
                 reads_from.setdefault(location, set()).add(key)
                 if key not in origin:

@@ -20,7 +20,7 @@ import sys
 from repro.bench.figures import (
     google_comparison,
     multitenant_comparison,
-    scaleout_run,
+    scaleout_comparison,
     tpcc_comparison,
 )
 from repro.bench.reporting import (
@@ -57,6 +57,13 @@ def main(argv: list[str] | None = None) -> int:
     scale.add_argument("variants", nargs="+")
     scale.add_argument("--duration", type=float, default=16.0)
 
+    for cmd in (google, tpcc, multi, scale):
+        cmd.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="fan runs out over N worker processes "
+                 "(results identical to serial)",
+        )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -69,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "google":
         results = google_comparison(
             args.strategies, duration_s=args.duration,
-            rate_scale=args.rate_scale,
+            rate_scale=args.rate_scale, jobs=args.jobs,
         )
         print(format_table(results, "Google-trace YCSB"))
         print(format_series(results))
@@ -79,23 +86,24 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "tpcc":
         results = tpcc_comparison(
-            args.strategies, hot_fraction=args.hot, duration_s=args.duration
+            args.strategies, hot_fraction=args.hot,
+            duration_s=args.duration, jobs=args.jobs,
         )
         print(format_table(results, f"TPC-C, hot fraction {args.hot}"))
         return 0
 
     if args.command == "multitenant":
         results = multitenant_comparison(
-            args.strategies, duration_s=args.duration
+            args.strategies, duration_s=args.duration, jobs=args.jobs,
         )
         print(format_table(results, "multi-tenant, rotating hot spot"))
         print(format_series(results))
         return 0
 
     if args.command == "scaleout":
-        results = [
-            scaleout_run(v, duration_s=args.duration) for v in args.variants
-        ]
+        results = scaleout_comparison(
+            args.variants, duration_s=args.duration, jobs=args.jobs,
+        )
         print(format_table(results, "scale-out 3 -> 4 nodes"))
         print(format_series(results))
         return 0

@@ -4,6 +4,15 @@ Each figure benchmark is a thin wrapper around one of these helpers,
 which assemble the right workload, strategies, and special cases
 (Schism's offline partitioning, Clay's monitor, the scale-out event
 script) on top of :func:`repro.bench.harness.run_workload`.
+
+Every comparison accepts ``jobs``: with ``jobs=N`` the per-strategy (or
+per-variant) runs fan out over a process pool via
+:func:`repro.bench.harness.parallel_map`.  The loop bodies live in
+module-level ``_*_task`` workers that take only picklable primitives and
+rebuild the trace/spec/workload *inside* the worker from the same seeds
+— which is exactly why a parallel sweep returns bit-identical results in
+the same order as the serial one (the serial path runs the very same
+workers in-process).
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from typing import Callable, Sequence
 
 from repro.baselines.schism import schism_partition
 from repro.baselines.squall import SquallExecutor
-from repro.bench.harness import ExperimentResult, run_workload
+from repro.bench.harness import ExperimentResult, parallel_map, run_workload
 from repro.bench.presets import (
     GOOGLE_BENCH,
     bench_cluster_config,
@@ -39,6 +48,16 @@ from repro.workloads.ycsb import GoogleYCSBWorkload, YCSBConfig
 SEED = 7
 
 
+def _require_serial_for_cluster(jobs: int | None, keep_cluster: bool) -> None:
+    """A live cluster (generators, kernel heap) cannot cross a process
+    boundary — fail with a clear message instead of a pickle traceback."""
+    if keep_cluster and jobs is not None and jobs > 1:
+        raise ValueError(
+            "keep_cluster=True retains live Cluster objects, which cannot "
+            "be shipped between processes; use jobs=1 (or None)"
+        )
+
+
 # ----------------------------------------------------------------------
 # Google-YCSB comparisons (Figures 2, 6a, 6b, 7, 8, 9, 10)
 # ----------------------------------------------------------------------
@@ -55,6 +74,58 @@ def google_spec(name: str, num_keys: int) -> StrategySpec:
     )
 
 
+def _google_task(task: tuple) -> ExperimentResult:
+    """One Google-YCSB strategy run, from primitives (pool worker)."""
+    (name, num_nodes, num_keys, rate_scale, duration_us, overrides,
+     schism_period, seed, keep_cluster) = task
+    overrides = dict(overrides)
+    ycsb_config = YCSBConfig(
+        num_keys=num_keys,
+        num_partitions=num_nodes,
+        zipf_theta=overrides.pop("zipf_theta", 0.8),
+        global_cycle_us=overrides.pop("global_cycle_us", duration_us / 2),
+        **overrides,
+    )
+    trace_config = bench_trace_config(num_nodes, duration_us / 1e6)
+    trace = SyntheticGoogleTrace(trace_config, DeterministicRNG(seed, "trace"))
+
+    def workload_factory(rng: DeterministicRNG) -> GoogleYCSBWorkload:
+        return GoogleYCSBWorkload(ycsb_config, trace, rng)
+
+    def rate_fn(now_us: float) -> float:
+        return rate_scale * trace.total_load_at(now_us)
+
+    if schism_period is not None:
+        lo_frac, hi_frac = schism_period
+        partitioner = _schism_partitioner_factory(
+            ycsb_config, trace, lo_frac * duration_us,
+            hi_frac * duration_us, num_nodes, seed,
+        )
+        spec = make_strategy("calvin")
+        spec.name = name
+    else:
+        partitioner = lambda: make_uniform_ranges(  # noqa: E731
+            num_keys, num_nodes
+        )
+        spec = google_spec(name, num_keys)
+
+    return run_workload(
+        spec,
+        cluster_config=bench_cluster_config(num_nodes),
+        partitioner_factory=partitioner,
+        workload_factory=workload_factory,
+        keys=range(num_keys),
+        seed=seed,
+        duration_us=duration_us,
+        warmup_us=min(2_000_000.0, duration_us / 5),
+        drain=False,
+        mode="open",
+        rate_per_s=rate_fn,
+        stats_window_us=max(500_000.0, duration_us / 16),
+        keep_cluster=keep_cluster,
+    )
+
+
 def google_comparison(
     strategies: Sequence[str],
     *,
@@ -65,67 +136,33 @@ def google_comparison(
     ycsb_overrides: dict | None = None,
     schism_periods: dict[str, tuple[float, float]] | None = None,
     seed: int = SEED,
+    jobs: int | None = None,
+    keep_cluster: bool = False,
 ) -> list[ExperimentResult]:
     """Run the Section 5.2 comparison for the named strategies.
 
     ``schism_periods`` maps a label (e.g. ``"schism1"``) to the fraction
     interval of the run used as its offline training trace; those
     entries run Calvin over the Schism partitioning, as in Figure 6(a).
+    ``jobs=N`` fans the strategies out over N processes (each worker
+    rebuilds the same seeded trace, so results are unchanged).
     """
+    _require_serial_for_cluster(jobs, keep_cluster)
     num_nodes = num_nodes or GOOGLE_BENCH["num_nodes"]
     num_keys = num_keys or GOOGLE_BENCH["num_keys"]
     duration_s = (duration_s or GOOGLE_BENCH["duration_s"]) * bench_scale()
     duration_us = duration_s * 1e6
-
     overrides = dict(ycsb_overrides or {})
-    ycsb_config = YCSBConfig(
-        num_keys=num_keys,
-        num_partitions=num_nodes,
-        zipf_theta=overrides.pop("zipf_theta", 0.8),
-        global_cycle_us=overrides.pop("global_cycle_us", duration_us / 2),
-        **overrides,
-    )
-    trace_config = bench_trace_config(num_nodes, duration_s)
-    trace = SyntheticGoogleTrace(trace_config, DeterministicRNG(seed, "trace"))
 
-    def workload_factory(rng: DeterministicRNG) -> GoogleYCSBWorkload:
-        return GoogleYCSBWorkload(ycsb_config, trace, rng)
-
-    def rate_fn(now_us: float) -> float:
-        return rate_scale * trace.total_load_at(now_us)
-
-    def run(spec: StrategySpec, partitioner: Callable[[], Partitioner]):
-        return run_workload(
-            spec,
-            cluster_config=bench_cluster_config(num_nodes),
-            partitioner_factory=partitioner,
-            workload_factory=workload_factory,
-            keys=range(num_keys),
-            seed=seed,
-            duration_us=duration_us,
-            warmup_us=min(2_000_000.0, duration_us / 5),
-            drain=False,
-            mode="open",
-            rate_per_s=rate_fn,
-            stats_window_us=max(500_000.0, duration_us / 16),
+    tasks = [
+        (
+            name, num_nodes, num_keys, rate_scale, duration_us, overrides,
+            schism_periods.get(name) if schism_periods else None,
+            seed, keep_cluster,
         )
-
-    uniform = lambda: make_uniform_ranges(num_keys, num_nodes)  # noqa: E731
-    results = []
-    for name in strategies:
-        if schism_periods and name in schism_periods:
-            lo_frac, hi_frac = schism_periods[name]
-            partitioner = _schism_partitioner_factory(
-                ycsb_config, trace, lo_frac * duration_us,
-                hi_frac * duration_us, num_nodes, seed,
-            )
-            spec = make_strategy("calvin")
-            spec.name = name
-            result = run(spec, partitioner)
-        else:
-            result = run(google_spec(name, num_keys), uniform)
-        results.append(result)
-    return results
+        for name in strategies
+    ]
+    return parallel_map(_google_task, tasks, jobs=jobs)
 
 
 def _schism_partitioner_factory(
@@ -163,6 +200,42 @@ def _schism_partitioner_factory(
 # ----------------------------------------------------------------------
 
 
+def _tpcc_task(task: tuple) -> ExperimentResult:
+    """One TPC-C strategy × hot-fraction run (pool worker)."""
+    (name, hot_fraction, num_nodes, duration_us, clients, seed,
+     keep_cluster) = task
+    tpcc_config = TPCCConfig(
+        num_warehouses=num_nodes * 10,
+        num_nodes=num_nodes,
+        hot_fraction=hot_fraction,
+    )
+    spec = make_strategy(
+        name,
+        fusion=bench_fusion_config(capacity=4_000),
+        clay_monitor_interval_us=min(1_500_000.0, duration_us / 5),
+    )
+    if name == "clay":
+        # TPC-C keys are tuples; Clay's range clumps need an integer
+        # keyspace, so Clay migrates whole warehouses: clump id ==
+        # warehouse id, realized as warehouse-range reassignment.
+        spec = _clay_tpcc_spec(
+            tpcc_config, min(1_500_000.0, duration_us / 5)
+        )
+    return run_workload(
+        spec,
+        cluster_config=bench_cluster_config(num_nodes),
+        partitioner_factory=lambda: tpcc_partitioner(tpcc_config),
+        workload_factory=lambda rng: TPCCWorkload(tpcc_config, rng),
+        seed=seed,
+        duration_us=duration_us,
+        warmup_us=min(1_000_000.0, duration_us / 5),
+        drain=False,
+        mode="closed",
+        clients=clients,
+        keep_cluster=keep_cluster,
+    )
+
+
 def tpcc_comparison(
     strategies: Sequence[str],
     hot_fraction: float,
@@ -171,44 +244,48 @@ def tpcc_comparison(
     duration_s: float = 4.0,
     clients: int = 900,
     seed: int = SEED,
+    jobs: int | None = None,
+    keep_cluster: bool = False,
 ) -> list[ExperimentResult]:
     """Closed-loop TPC-C with a node-0 hot spot."""
+    _require_serial_for_cluster(jobs, keep_cluster)
     duration_us = duration_s * bench_scale() * 1e6
-    tpcc_config = TPCCConfig(
-        num_warehouses=num_nodes * 10,
-        num_nodes=num_nodes,
-        hot_fraction=hot_fraction,
-    )
+    tasks = [
+        (name, hot_fraction, num_nodes, duration_us, clients, seed,
+         keep_cluster)
+        for name in strategies
+    ]
+    return parallel_map(_tpcc_task, tasks, jobs=jobs)
 
-    results = []
-    for name in strategies:
-        spec = make_strategy(
-            name,
-            fusion=bench_fusion_config(capacity=4_000),
-            clay_monitor_interval_us=min(1_500_000.0, duration_us / 5),
-        )
-        if name == "clay":
-            # TPC-C keys are tuples; Clay's range clumps need an integer
-            # keyspace, so Clay migrates whole warehouses: clump id ==
-            # warehouse id, realized as warehouse-range reassignment.
-            spec = _clay_tpcc_spec(
-                tpcc_config, min(1_500_000.0, duration_us / 5)
-            )
-        results.append(
-            run_workload(
-                spec,
-                cluster_config=bench_cluster_config(num_nodes),
-                partitioner_factory=lambda: tpcc_partitioner(tpcc_config),
-                workload_factory=lambda rng: TPCCWorkload(tpcc_config, rng),
-                seed=seed,
-                duration_us=duration_us,
-                warmup_us=min(1_000_000.0, duration_us / 5),
-                drain=False,
-                mode="closed",
-                clients=clients,
-            )
-        )
-    return results
+
+def tpcc_sweep(
+    strategies: Sequence[str],
+    hot_fractions: Sequence[float],
+    *,
+    num_nodes: int = 8,
+    duration_s: float = 4.0,
+    clients: int = 900,
+    seed: int = SEED,
+    jobs: int | None = None,
+) -> dict[float, list[ExperimentResult]]:
+    """The full Figure 11 grid: every strategy at every hot fraction.
+
+    Fans the whole (strategy × hot-fraction) product into one pool, so
+    ``jobs`` parallelism is not capped by the strategy count, then
+    regroups results per hot fraction in submission order.
+    """
+    duration_us = duration_s * bench_scale() * 1e6
+    tasks = [
+        (name, hot, num_nodes, duration_us, clients, seed, False)
+        for hot in hot_fractions
+        for name in strategies
+    ]
+    flat = parallel_map(_tpcc_task, tasks, jobs=jobs)
+    width = len(strategies)
+    return {
+        hot: flat[i * width:(i + 1) * width]
+        for i, hot in enumerate(hot_fractions)
+    }
 
 
 def _clay_tpcc_spec(
@@ -274,6 +351,32 @@ def _clay_tpcc_spec(
 # ----------------------------------------------------------------------
 
 
+def _multitenant_task(task: tuple) -> ExperimentResult:
+    """One multi-tenant strategy run (pool worker)."""
+    (name, wl_config, make_part, duration_us, clients, seed,
+     stats_window_us, keep_cluster) = task
+    spec = make_strategy(
+        name,
+        fusion=bench_fusion_config(capacity=wl_config.num_keys // 20),
+        clay_clump_records=max(50, wl_config.records_per_tenant // 5),
+        clay_monitor_interval_us=1_000_000.0,
+    )
+    return run_workload(
+        spec,
+        cluster_config=bench_cluster_config(wl_config.num_nodes),
+        partitioner_factory=lambda: make_part(wl_config),
+        workload_factory=lambda rng: MultiTenantWorkload(wl_config, rng),
+        seed=seed,
+        duration_us=duration_us,
+        warmup_us=min(1_000_000.0, duration_us / 10),
+        drain=False,
+        mode="closed",
+        clients=clients,
+        stats_window_us=stats_window_us,
+        keep_cluster=keep_cluster,
+    )
+
+
 def multitenant_comparison(
     strategies: Sequence[str],
     *,
@@ -283,8 +386,16 @@ def multitenant_comparison(
     clients: int = 800,
     seed: int = SEED,
     stats_window_s: float = 0.5,
+    jobs: int | None = None,
+    keep_cluster: bool = False,
 ) -> list[ExperimentResult]:
-    """Closed-loop multi-tenant workload (moving hot spot by default)."""
+    """Closed-loop multi-tenant workload (moving hot spot by default).
+
+    With ``jobs>1`` a custom ``partitioner_factory`` must be a
+    module-level function (it is shipped to the worker processes); the
+    default :func:`perfect_partitioner` is.
+    """
+    _require_serial_for_cluster(jobs, keep_cluster)
     wl_config = config or MultiTenantConfig(
         num_nodes=4,
         tenants_per_node=4,
@@ -293,31 +404,12 @@ def multitenant_comparison(
     )
     duration_us = duration_s * bench_scale() * 1e6
     make_part = partitioner_factory or perfect_partitioner
-
-    results = []
-    for name in strategies:
-        spec = make_strategy(
-            name,
-            fusion=bench_fusion_config(capacity=wl_config.num_keys // 20),
-            clay_clump_records=max(50, wl_config.records_per_tenant // 5),
-            clay_monitor_interval_us=1_000_000.0,
-        )
-        results.append(
-            run_workload(
-                spec,
-                cluster_config=bench_cluster_config(wl_config.num_nodes),
-                partitioner_factory=lambda: make_part(wl_config),
-                workload_factory=lambda rng: MultiTenantWorkload(wl_config, rng),
-                seed=seed,
-                duration_us=duration_us,
-                warmup_us=min(1_000_000.0, duration_us / 10),
-                drain=False,
-                mode="closed",
-                clients=clients,
-                stats_window_us=stats_window_s * 1e6,
-            )
-        )
-    return results
+    tasks = [
+        (name, wl_config, make_part, duration_us, clients, seed,
+         stats_window_s * 1e6, keep_cluster)
+        for name in strategies
+    ]
+    return parallel_map(_multitenant_task, tasks, jobs=jobs)
 
 
 def scaleout_run(
@@ -328,6 +420,7 @@ def scaleout_run(
     clients: int = 600,
     records_per_tenant: int = 2_500,
     seed: int = SEED,
+    keep_cluster: bool = False,
 ) -> ExperimentResult:
     """One Figure 14 scale-out scenario.
 
@@ -404,6 +497,30 @@ def scaleout_run(
         active_nodes=[0, 1, 2],
         before_run=before_run,
         stats_window_us=500_000.0,
+        keep_cluster=keep_cluster,
     )
     result.extras["event_us"] = event_us
     return result
+
+
+def _scaleout_task(task: tuple) -> ExperimentResult:
+    """One scale-out variant run (pool worker)."""
+    variant, kwargs = task
+    return scaleout_run(variant, **kwargs)
+
+
+def scaleout_comparison(
+    variants: Sequence[str],
+    *,
+    jobs: int | None = None,
+    keep_cluster: bool = False,
+    **kwargs,
+) -> list[ExperimentResult]:
+    """Several Figure 14 variants, optionally fanned over processes.
+
+    ``kwargs`` are forwarded to :func:`scaleout_run` unchanged.
+    """
+    _require_serial_for_cluster(jobs, keep_cluster)
+    kwargs["keep_cluster"] = keep_cluster
+    tasks = [(variant, kwargs) for variant in variants]
+    return parallel_map(_scaleout_task, tasks, jobs=jobs)

@@ -7,6 +7,11 @@ returns an :class:`ExperimentResult` carrying the aggregates and series
 the paper plots.  ``run_google_ycsb`` specializes it for the Google-
 trace experiments (Figures 2 and 6–10), where the offered rate follows
 the trace's total-load envelope.
+
+``parallel_map`` is the fleet primitive the figure comparisons build on:
+independent (strategy × sweep-point × seed) runs fan out over a process
+pool while results come back in submission order, so a parallel sweep
+returns exactly what the serial loop would have.
 """
 
 from __future__ import annotations
@@ -41,6 +46,9 @@ class ExperimentResult:
     writebacks: int
     evictions: int
     throughput_series: TimeSeries
+    latency_p50_us: float = 0.0
+    latency_p95_us: float = 0.0
+    latency_p99_us: float = 0.0
     extras: dict = field(default_factory=dict)
 
     def summary_row(self) -> dict[str, float | str]:
@@ -49,6 +57,9 @@ class ExperimentResult:
             "strategy": self.strategy,
             "throughput/s": round(self.throughput_per_s, 1),
             "latency_ms": round(self.mean_latency_us / 1000, 2),
+            "p50_ms": round(self.latency_p50_us / 1000, 2),
+            "p95_ms": round(self.latency_p95_us / 1000, 2),
+            "p99_ms": round(self.latency_p99_us / 1000, 2),
             "cpu_%": round(self.cpu_utilization * 100, 1),
             "net_B/txn": round(self.net_bytes_per_commit, 0),
             "remote_reads": self.remote_reads,
@@ -74,6 +85,7 @@ def run_workload(
     active_nodes: Iterable[int] | None = None,
     before_run: Callable[[Cluster], None] | None = None,
     validate_plans: bool = False,
+    keep_cluster: bool = False,
 ) -> ExperimentResult:
     """Run one strategy on one workload and collect the paper's metrics.
 
@@ -81,6 +93,12 @@ def run_workload(
     object with ``make_txn``; if it also exposes ``all_keys`` and
     ``keys`` is None, that is used to load the database.  ``before_run``
     runs after construction (used to schedule scale-out events etc.).
+
+    ``keep_cluster=True`` retains the live :class:`Cluster` (and any
+    attached controller) in ``extras`` for post-run inspection.  It is
+    off by default: a cluster pins the whole event heap and every record
+    store, so a sweep that holds N results would hold N clusters — and
+    parallel sweeps could not ship results between processes at all.
     """
     rng = DeterministicRNG(seed, "experiment", spec.name)
     cluster = Cluster(
@@ -123,6 +141,11 @@ def run_workload(
         end = cluster.run_until_quiescent(duration_us * 2)
 
     metrics = cluster.metrics
+    pcts = metrics.latency_percentiles((0.5, 0.95, 0.99))
+    extras: dict = {"submitted": driver.submitted}
+    if keep_cluster:
+        extras["cluster"] = cluster
+        extras["attached"] = attached
     return ExperimentResult(
         strategy=spec.name,
         commits=metrics.commits,
@@ -136,11 +159,10 @@ def run_workload(
         writebacks=metrics.writebacks,
         evictions=metrics.evictions,
         throughput_series=metrics.throughput_series(end),
-        extras={
-            "attached": attached,
-            "submitted": driver.submitted,
-            "cluster": cluster,
-        },
+        latency_p50_us=pcts[0.5],
+        latency_p95_us=pcts[0.95],
+        latency_p99_us=pcts[0.99],
+        extras=extras,
     )
 
 
@@ -158,6 +180,7 @@ def run_google_ycsb(
     warmup_us: float = 5_000_000.0,
     stats_window_us: float = 5_000_000.0,
     validate_plans: bool = False,
+    keep_cluster: bool = False,
 ) -> ExperimentResult:
     """The Section 5.2 experiment: YCSB shaped by a Google-style trace.
 
@@ -201,6 +224,34 @@ def run_google_ycsb(
         rate_per_s=rate_fn,
         stats_window_us=stats_window_us,
         validate_plans=validate_plans,
+        keep_cluster=keep_cluster,
     )
     result.extras["trace"] = trace
     return result
+
+
+def parallel_map(fn, tasks, *, jobs: int | None = None) -> list:
+    """Map ``fn`` over ``tasks``, optionally across a process pool.
+
+    The fleet primitive behind the figure comparisons: each task is one
+    independent simulation run (a strategy × sweep-point × seed triple,
+    encoded as picklable primitives), ``fn`` is a module-level worker
+    that rebuilds the specs/workloads inside the child process and runs
+    it.  Results always come back in *submission* order — ``imap``
+    preserves it regardless of which worker finishes first — and every
+    run seeds its own :class:`DeterministicRNG` from the task, so a
+    parallel sweep is bit-identical to the serial loop.
+
+    ``jobs=None`` or ``1`` runs serially in-process (no pool overhead,
+    ordinary tracebacks, and ``fn``/``tasks`` need not be picklable);
+    ``jobs=N`` uses up to N worker processes.
+    """
+    tasks = list(tasks)
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs is None or jobs == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    import multiprocessing
+
+    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+        return list(pool.imap(fn, tasks))

@@ -53,6 +53,19 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
+def bench_jobs() -> int | None:
+    """Worker-process count for the benchmark fleet (env-overridable).
+
+    ``REPRO_BENCH_JOBS=N`` fans each figure's independent runs over N
+    processes via :func:`repro.bench.harness.parallel_map`; unset (or 1)
+    keeps the serial in-process path.  Results are bit-identical either
+    way — every run rebuilds its own seeded state — so this only trades
+    wall-clock for cores.
+    """
+    value = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return value if value > 1 else None
+
+
 def bench_cluster_config(num_nodes: int) -> ClusterConfig:
     """The calibrated cluster configuration for a benchmark."""
     return ClusterConfig(

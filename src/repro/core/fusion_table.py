@@ -22,6 +22,7 @@ static home.  Key properties reproduced from the paper:
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Sequence
 
 from repro.common.config import FusionConfig
 from repro.common.errors import ConfigurationError
@@ -55,6 +56,26 @@ class FusionTable:
         if node is not None and self.config.eviction == "lru":
             self._entries.move_to_end(key)
         return node
+
+    def get_bulk(self, keys: Sequence[Key]) -> list[NodeId | None]:
+        """One lookup per key, in order — the batch-routing fast path.
+
+        Exactly equivalent to ``[self.get(k) for k in keys]``, including
+        the per-hit LRU recency refresh in the same order, but pays one
+        method call for the whole batch instead of one per key.
+        """
+        entries = self._entries
+        lookup = entries.get
+        lru = self.config.eviction == "lru"
+        move = entries.move_to_end
+        out: list[NodeId | None] = []
+        append = out.append
+        for key in keys:
+            node = lookup(key)
+            if node is not None and lru:
+                move(key)
+            append(node)
+        return out
 
     def put(self, key: Key, node: NodeId) -> list[tuple[Key, NodeId]]:
         """Record ``key``'s new owner; return evicted (key, owner) pairs.

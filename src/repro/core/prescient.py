@@ -129,16 +129,27 @@ class PrescientRouter(Router):
         active = set(view.active_nodes)
         fallback = view.active_nodes[0]
 
-        base_owner: dict[Key, NodeId] = {}
-        inverted: dict[Key, list[int]] = {}
+        # Resolve the whole batch's read/write sets in one bulk overlay
+        # pass.  Distinct keys are collected in first-encounter order —
+        # the exact order the per-key code consulted the overlay — so
+        # LRU recency in the fusion table evolves identically.
         states = [_TxnState(i, txn) for i, txn in enumerate(txns)]
+        distinct: list[Key] = []
+        seen: set[Key] = set()
         for state in states:
             for key in state.keys:
-                owner = base_owner.get(key)
-                if owner is None:
-                    owner = view.ownership.owner(key)
-                    base_owner[key] = owner
-                state.counts[owner] = state.counts.get(owner, 0) + 1
+                if key not in seen:
+                    seen.add(key)
+                    distinct.append(key)
+        base_owner: dict[Key, NodeId] = dict(
+            zip(distinct, view.ownership.owners_bulk(distinct))
+        )
+        inverted: dict[Key, list[int]] = {}
+        for state in states:
+            counts = state.counts
+            for key in state.keys:
+                owner = base_owner[key]
+                counts[owner] = counts.get(owner, 0) + 1
                 inverted.setdefault(key, []).append(state.index)
             state.refresh_best(active, fallback)
 
@@ -292,12 +303,13 @@ class PrescientRouter(Router):
     def _build_plan(
         self, txn: Transaction, master: NodeId, view: ClusterView
     ) -> TxnPlan:
+        keys = tuple(txn.full_set)
+        write_set = txn.write_set
         reads_from: dict[NodeId, set[Key]] = {}
         migrations: list[Migration] = []
-        for key in txn.full_set:
-            location = view.ownership.owner(key)
+        for key, location in zip(keys, view.ownership.owners_bulk(keys)):
             reads_from.setdefault(location, set()).add(key)
-            if key in txn.write_set and location != master:
+            if key in write_set and location != master:
                 migrations.append(Migration(key, location, master))
 
         # Apply the fusion updates, then derive evictions from the table's
@@ -305,7 +317,7 @@ class PrescientRouter(Router):
         # transaction's own keys can be popped and re-inserted within this
         # loop, so per-pop decisions would chase records mid-shuffle.
         popped: dict[Key, NodeId] = {}
-        for key in txn.write_set:
+        for key in write_set:
             for evicted_key, evicted_owner in view.ownership.record_move(
                 key, master
             ):
@@ -314,7 +326,7 @@ class PrescientRouter(Router):
         for evicted_key, recorded_owner in popped.items():
             if view.ownership.overlay.get(evicted_key) is not None:
                 continue  # re-inserted later in this loop and survived
-            if evicted_key in txn.write_set:
+            if evicted_key in write_set:
                 # The record travels to the master with its own migration
                 # regardless, so the send-home eviction originates there —
                 # not at the stale pre-transaction location.
@@ -329,7 +341,7 @@ class PrescientRouter(Router):
                 continue
             evictions.append(Migration(evicted_key, src, home))
 
-        writes_at = {master: frozenset(txn.write_set)} if txn.write_set else {}
+        writes_at = {master: frozenset(write_set)} if write_set else {}
         return TxnPlan(
             txn=txn,
             masters=(master,),

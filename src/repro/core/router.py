@@ -16,7 +16,7 @@ ownership view with the active topology.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 from repro.common.errors import RoutingError
 from repro.common.types import Batch, Key, NodeId, Transaction, TxnKind
@@ -54,6 +54,11 @@ class DictOverlay:
     def get(self, key: Key) -> NodeId | None:
         return self._map.get(key)
 
+    def get_bulk(self, keys: Sequence[Key]) -> list[NodeId | None]:
+        """One lookup per key, in order (batch-routing fast path)."""
+        lookup = self._map.get
+        return [lookup(key) for key in keys]
+
     def put(self, key: Key, node: NodeId) -> list[tuple[Key, NodeId]]:
         self._map[key] = node
         return []
@@ -66,22 +71,71 @@ class DictOverlay:
 
 
 class OwnershipView:
-    """Live record placement: overlay over a static partitioner."""
+    """Live record placement: overlay over a static partitioner.
+
+    Static-home lookups are memoized per key: a range lookup is a bisect
+    and a TPC-C home is a derive-then-place chain, but the answer only
+    changes when the partitioner itself is re-partitioned — which bumps
+    its ``version`` counter and invalidates the cache wholesale.
+    """
 
     def __init__(self, static: Partitioner, overlay: KeyOverlay | None = None):
         self.static = static
         self.overlay = overlay if overlay is not None else DictOverlay()
+        self._home_cache: dict[Key, NodeId] = {}
+        self._home_version = getattr(static, "version", 0)
+
+    def _homes(self) -> dict[Key, NodeId]:
+        """The home cache, invalidated if the partitioner changed."""
+        version = getattr(self.static, "version", 0)
+        if version != self._home_version:
+            self._home_cache.clear()
+            self._home_version = version
+        return self._home_cache
 
     def owner(self, key: Key) -> NodeId:
         """The node that currently holds ``key``."""
         live = self.overlay.get(key)
         if live is not None:
             return live
-        return self.static.home(key)
+        return self.home(key)
+
+    def owners_bulk(self, keys: Sequence[Key]) -> list[NodeId]:
+        """Current owner of every key, in order, in one overlay pass.
+
+        Exactly equivalent to ``[self.owner(k) for k in keys]`` —
+        including the overlay's per-hit LRU refresh order, which routing
+        determinism depends on — but pays one call into the overlay for
+        the whole batch and serves static homes from the memo.
+        """
+        get_bulk = getattr(self.overlay, "get_bulk", None)
+        if get_bulk is not None:
+            lives = get_bulk(keys)
+        else:
+            get = self.overlay.get
+            lives = [get(key) for key in keys]
+        cache = self._homes()
+        lookup = cache.get
+        static_home = self.static.home
+        out: list[NodeId] = []
+        append = out.append
+        for key, live in zip(keys, lives):
+            if live is not None:
+                append(live)
+                continue
+            node = lookup(key)
+            if node is None:
+                node = cache[key] = static_home(key)
+            append(node)
+        return out
 
     def home(self, key: Key) -> NodeId:
         """The static home of ``key`` (where evictions send it back)."""
-        return self.static.home(key)
+        cache = self._homes()
+        node = cache.get(key)
+        if node is None:
+            node = cache[key] = self.static.home(key)
+        return node
 
     def record_move(self, key: Key, dst: NodeId) -> list[tuple[Key, NodeId]]:
         """Register that ``key`` now lives at ``dst``.
@@ -90,7 +144,7 @@ class OwnershipView:
         instead of stored — keeping the overlay to genuinely displaced
         records only.  Returns any evictions the overlay performed.
         """
-        if self.static.home(key) == dst:
+        if self.home(key) == dst:
             self.overlay.remove(key)
             return []
         return self.overlay.put(key, dst)
@@ -150,14 +204,18 @@ def count_by_owner(
     txn: Transaction, view: ClusterView, keys: Iterable[Key] | None = None
 ) -> dict[NodeId, int]:
     """How many of the transaction's keys each node currently owns."""
+    key_seq = tuple(keys) if keys is not None else tuple(txn.full_set)
     counts: dict[NodeId, int] = {}
-    for key in keys if keys is not None else txn.full_set:
-        owner = view.ownership.owner(key)
+    for owner in view.ownership.owners_bulk(key_seq):
         counts[owner] = counts.get(owner, 0) + 1
     return counts
 
 
-def majority_owner(txn: Transaction, view: ClusterView) -> NodeId:
+def majority_owner(
+    txn: Transaction,
+    view: ClusterView,
+    counts: dict[NodeId, int] | None = None,
+) -> NodeId:
     """The active node owning the most of the transaction's records.
 
     Ties break by hashing the transaction id over the tied candidates —
@@ -165,8 +223,12 @@ def majority_owner(txn: Transaction, view: ClusterView) -> NodeId:
     lowest-id tiebreak would systematically funnel every migrating
     strategy's records onto node 0.  If no owner is active (all data on
     draining nodes), falls back over all active nodes the same way.
+
+    Callers that already resolved the transaction's owners may pass the
+    owner ``counts`` to skip the second ownership pass.
     """
-    counts = count_by_owner(txn, view)
+    if counts is None:
+        counts = count_by_owner(txn, view)
     active = set(view.active_nodes)
     best_count = -1
     tied: list[NodeId] = []
@@ -208,17 +270,23 @@ def build_single_master_plan(
       write propagation — used as a building block by T-Part, whose
       router fills in forward-pushing and batch-end writebacks itself.
     """
+    # One bulk ownership pass covers every loop below: the view is only
+    # mutated afterwards (``update_view``), so all lookups see the same
+    # pre-transaction placement the per-key code did.
+    keys = tuple(txn.full_set)
+    owner_of = dict(zip(keys, view.ownership.owners_bulk(keys)))
+    write_set = txn.write_set
+
     reads_from: dict[NodeId, set[Key]] = {}
-    for key in txn.full_set:
-        owner = view.ownership.owner(key)
-        reads_from.setdefault(owner, set()).add(key)
+    for key in keys:
+        reads_from.setdefault(owner_of[key], set()).add(key)
 
     migrations: list[Migration] = []
     writebacks: list[Migration] = []
     writes_at: dict[NodeId, set[Key]] = {}
 
-    for key in txn.write_set:
-        owner = view.ownership.owner(key)
+    for key in write_set:
+        owner = owner_of[key]
         if owner == master:
             writes_at.setdefault(master, set()).add(key)
         elif migrate_writes:
@@ -230,14 +298,14 @@ def build_single_master_plan(
             writes_at.setdefault(owner, set()).add(key)
 
     if migrate_reads:
-        for key in txn.read_set - txn.write_set:
-            owner = view.ownership.owner(key)
+        for key in txn.read_set - write_set:
+            owner = owner_of[key]
             if owner != master:
                 migrations.append(Migration(key, owner, master))
 
     if writeback_remote:
-        for key in txn.full_set:
-            owner = view.ownership.owner(key)
+        for key in keys:
+            owner = owner_of[key]
             if owner != master:
                 writebacks.append(Migration(key, master, owner))
 
@@ -263,21 +331,25 @@ def build_multi_master_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
     owns.  Read-only transactions execute at the majority read owner.
     No data moves permanently.
     """
-    writer_nodes = sorted(
-        {view.ownership.owner(key) for key in txn.write_set}
-    )
+    keys = tuple(txn.full_set)
+    owner_of = dict(zip(keys, view.ownership.owners_bulk(keys)))
+    write_set = txn.write_set
+
+    writer_nodes = sorted({owner_of[key] for key in write_set})
     if not writer_nodes:
-        writer_nodes = [majority_owner(txn, view)]
+        counts: dict[NodeId, int] = {}
+        for key in keys:
+            owner = owner_of[key]
+            counts[owner] = counts.get(owner, 0) + 1
+        writer_nodes = [majority_owner(txn, view, counts)]
 
     reads_from: dict[NodeId, set[Key]] = {}
-    for key in txn.full_set:
-        owner = view.ownership.owner(key)
-        reads_from.setdefault(owner, set()).add(key)
+    for key in keys:
+        reads_from.setdefault(owner_of[key], set()).add(key)
 
     writes_at: dict[NodeId, set[Key]] = {}
-    for key in txn.write_set:
-        owner = view.ownership.owner(key)
-        writes_at.setdefault(owner, set()).add(key)
+    for key in write_set:
+        writes_at.setdefault(owner_of[key], set()).add(key)
 
     return TxnPlan(
         txn=txn,
@@ -317,7 +389,12 @@ def build_chunk_migration_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
     if chunk is None:
         raise RoutingError(f"migration txn {txn.txn_id} lacks a chunk payload")
 
-    moved = [key for key in chunk.keys if view.ownership.owner(key) == chunk.src]
+    chunk_keys = tuple(chunk.keys)
+    moved = [
+        key
+        for key, owner in zip(chunk_keys, view.ownership.owners_bulk(chunk_keys))
+        if owner == chunk.src
+    ]
     moved_set = set(moved)
     migrations = tuple(Migration(key, chunk.src, chunk.dst) for key in moved)
 

@@ -91,10 +91,15 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def load_data(self, keys: Iterable[Key]) -> None:
-        """Populate every record at its static home (version 0)."""
+        """Populate every record at its static home (version 0).
+
+        Goes through the ownership view's memoized ``home`` so the load
+        pass also pre-warms the static-home cache the routers hit.
+        """
+        home_of = self.ownership.home
+        nodes = self.nodes
         for key in keys:
-            home = self.ownership.static.home(key)
-            self.nodes[home].store.load(key)
+            nodes[home_of(key)].store.load(key)
 
     def next_txn_id(self) -> int:
         """Allocate a unique transaction id."""

@@ -90,13 +90,13 @@ class TxnRuntime:
         self._release_stage: dict[Key, int] = {}
         self._lock_mode: dict[Key, LockMode] = {}
         migrated_keys = {m.key for m in plan.migrations}
+        write_set = self.txn.write_set
         for key in self.txn.full_set:
-            exclusive = key in self.txn.write_set or key in migrated_keys
+            exclusive = key in write_set or key in migrated_keys
             self._lock_mode[key] = LockMode.X if exclusive else LockMode.S
-            if key in self.txn.write_set or key in migrated_keys:
-                self._release_stage[key] = _STAGE_COMMIT
-            else:
-                self._release_stage[key] = _STAGE_READ
+            self._release_stage[key] = (
+                _STAGE_COMMIT if exclusive else _STAGE_READ
+            )
         for move in plan.writebacks:
             self._lock_mode[move.key] = LockMode.X
             self._release_stage[move.key] = _STAGE_WRITEBACK

@@ -9,10 +9,14 @@ network usage (Figure 8).
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING
 
-from repro.sim.stats import LatencyBreakdown, TimeSeries, WindowedRate
+from repro.sim.stats import (
+    LatencyBreakdown,
+    TimeSeries,
+    WindowedRate,
+    percentiles,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executor import TxnRuntime
@@ -76,11 +80,4 @@ class ClusterMetrics:
         self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
     ) -> dict[float, float]:
         """Several nearest-rank percentiles at once (sorted once)."""
-        for q in quantiles:
-            if not 0 < q <= 1:
-                raise ValueError("quantile must be in (0, 1]")
-        if not self._latencies:
-            return {q: 0.0 for q in quantiles}
-        ordered = sorted(self._latencies)
-        n = len(ordered)
-        return {q: ordered[max(0, math.ceil(q * n) - 1)] for q in quantiles}
+        return percentiles(self._latencies, quantiles)

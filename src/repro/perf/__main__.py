@@ -1,0 +1,174 @@
+"""CLI for the perf microbenchmarks and regression gate.
+
+Usage::
+
+    # run the full suite and print a table
+    PYTHONPATH=src python -m repro.perf
+
+    # quick mode (CI smoke): ~10x smaller scenarios
+    PYTHONPATH=src python -m repro.perf --quick
+
+    # record a new entry in the tracking file at the repo root
+    PYTHONPATH=src python -m repro.perf --json BENCH_sim.json --label "PR 2"
+
+    # regression gate: fail if any bench regressed >30% vs the last
+    # committed entry at the same scale (normalized by the calibration
+    # bench, so numbers from a different machine compare meaningfully)
+    PYTHONPATH=src python -m repro.perf --quick --compare BENCH_sim.json
+
+    # profile the hot paths
+    PYTHONPATH=src python -m repro.perf --profile --bench kernel_e2e
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.perf.measure import BenchResult, measure
+from repro.perf.scenarios import SCENARIOS
+
+#: Benches whose events/s participates in the regression gate.  The
+#: calibration loop is the normalizer, not a gated metric.
+GATED = tuple(name for name in SCENARIOS if name != "calibration")
+
+
+def run_suite(
+    names: list[str], scale: float, repeats: int, profile: bool
+) -> dict[str, BenchResult]:
+    results: dict[str, BenchResult] = {}
+    for name in names:
+        result = measure(
+            name, lambda n=name: SCENARIOS[n](scale),
+            repeats=repeats, profile=profile,
+        )
+        results[name] = result
+        print(
+            f"  {name:<16} {result.events:>10} units  "
+            f"{result.wall_s:>8.3f}s  {result.events_per_s:>12,.0f} events/s"
+        )
+        if profile and result.profile_top:
+            print(result.profile_top)
+    return results
+
+
+def normalized(results: dict[str, dict]) -> dict[str, float]:
+    """events/s per bench divided by the run's calibration events/s."""
+    calib = results.get("calibration", {}).get("events_per_s", 0.0)
+    if not calib:
+        return {}
+    return {
+        name: data["events_per_s"] / calib
+        for name, data in results.items()
+        if name != "calibration"
+    }
+
+
+def compare(
+    current: dict[str, dict], baseline_entry: dict, tolerance: float
+) -> list[str]:
+    """Return a list of regression messages (empty when the gate passes)."""
+    problems: list[str] = []
+    base_norm = normalized(baseline_entry.get("benches", {}))
+    cur_norm = normalized(current)
+    if not base_norm or not cur_norm:
+        return ["missing calibration bench; cannot normalize for compare"]
+    for name in GATED:
+        if name not in base_norm or name not in cur_norm:
+            continue
+        floor = base_norm[name] * (1.0 - tolerance)
+        if cur_norm[name] < floor:
+            problems.append(
+                f"{name}: normalized score {cur_norm[name]:.3f} < "
+                f"{floor:.3f} (baseline {base_norm[name]:.3f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.perf")
+    parser.add_argument("--quick", action="store_true",
+                        help="~10x smaller scenarios (CI smoke mode)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="explicit scenario scale (overrides --quick)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N repeats (default 3, 1 in quick mode)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach a cProfile top-15 per bench")
+    parser.add_argument("--bench", nargs="*", default=None,
+                        help="subset of benches to run")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="append results to this tracking file")
+    parser.add_argument("--label", default="",
+                        help="label for the tracking-file entry")
+    parser.add_argument("--compare", type=Path, default=None,
+                        help="fail on regression vs the last entry here")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (
+        0.1 if args.quick else 1.0
+    )
+    repeats = args.repeats if args.repeats is not None else (
+        2 if args.quick else 3
+    )
+    names = list(args.bench) if args.bench else list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown bench(es): {', '.join(unknown)}")
+    if (args.compare or args.json) and "calibration" not in names:
+        names.insert(0, "calibration")
+
+    print(f"repro.perf  scale={scale}  repeats={repeats}")
+    results = run_suite(names, scale, repeats, args.profile)
+    payload = {name: r.to_json() for name, r in results.items()}
+
+    status = 0
+    if args.compare is not None:
+        history = json.loads(args.compare.read_text())["history"]
+        # Scores are only comparable at equal scale: small runs pay a
+        # larger share of per-run warm-up (e.g. the routers' home-cache
+        # fills amortize over fewer transactions), so gate against the
+        # most recent baseline recorded at this scale.
+        matching = [e for e in history if e.get("scale") == scale]
+        if not matching:
+            print(f"\nno baseline at scale={scale} in {args.compare}; "
+                  f"record one with --json first")
+            return 1
+        baseline = matching[-1]
+        problems = compare(payload, baseline, args.tolerance)
+        label = baseline.get("label", "<unlabeled>")
+        if problems:
+            print(f"\nPERF REGRESSION vs {label!r}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            status = 1
+        else:
+            print(f"\nperf gate OK vs {label!r} "
+                  f"(tolerance {args.tolerance:.0%})")
+
+    if args.json is not None:
+        if args.json.exists():
+            doc = json.loads(args.json.read_text())
+        else:
+            doc = {"schema": 1, "history": []}
+        doc["history"].append({
+            "label": args.label or f"run (scale={scale})",
+            "scale": scale,
+            "benches": payload,
+            "normalized": {
+                k: round(v, 4) for k, v in normalized(payload).items()
+            },
+        })
+        args.json.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

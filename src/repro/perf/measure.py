@@ -1,0 +1,86 @@
+"""Wall-clock measurement helpers for the microbenchmarks.
+
+A scenario is a zero-argument callable returning the number of simulator
+events it drove.  ``measure`` runs it ``repeats`` times and keeps the
+best (highest events/s) run — the standard way to suppress scheduler and
+allocator noise when benchmarking CPU-bound Python.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Callable
+
+
+@dataclass(slots=True)
+class BenchResult:
+    """One benchmark's best-of-N measurement."""
+
+    name: str
+    events: int
+    wall_s: float
+    events_per_s: float
+    repeats: int
+    profile_top: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        out = {
+            "events": self.events,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_s": round(self.events_per_s, 1),
+            "repeats": self.repeats,
+        }
+        if self.extras:
+            out["extras"] = self.extras
+        return out
+
+
+def measure(
+    name: str,
+    scenario: Callable[[], int],
+    *,
+    repeats: int = 3,
+    profile: bool = False,
+) -> BenchResult:
+    """Run ``scenario`` ``repeats`` times; keep the fastest run.
+
+    With ``profile=True`` one extra (unmeasured) run executes under
+    cProfile and the top functions by cumulative time are attached.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best_wall = float("inf")
+    best_events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = scenario()
+        wall = time.perf_counter() - t0
+        if events <= 0:
+            raise ValueError(f"scenario {name!r} reported {events} events")
+        if wall / events < best_wall / max(1, best_events):
+            best_wall, best_events = wall, events
+
+    profile_top = ""
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        scenario()
+        profiler.disable()
+        buffer = StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(15)
+        profile_top = buffer.getvalue()
+
+    return BenchResult(
+        name=name,
+        events=best_events,
+        wall_s=best_wall,
+        events_per_s=best_events / best_wall if best_wall > 0 else 0.0,
+        repeats=repeats,
+        profile_top=profile_top,
+    )

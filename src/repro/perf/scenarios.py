@@ -1,0 +1,302 @@
+"""The microbenchmark scenarios.
+
+Each scenario is a deterministic, self-contained workload over one of the
+simulator's hot paths.  A scenario returns the number of *work units* it
+completed (callbacks dispatched, timers resolved, messages delivered,
+transactions routed, kernel events processed) so that the same logical
+work is counted regardless of internal implementation — which is what
+makes the numbers comparable across kernel/router rewrites.
+
+``scale`` shrinks or grows every scenario uniformly; ``--quick`` uses
+``scale=0.1`` so the CI smoke job finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import (
+    ClusterConfig,
+    CostModel,
+    EngineConfig,
+    FusionConfig,
+    RetryPolicy,
+)
+from repro.common.rng import DeterministicRNG
+from repro.common.types import Batch, Transaction
+from repro.core.fusion_table import FusionTable
+from repro.core.prescient import PrescientRouter
+from repro.core.router import ClusterView, OwnershipView
+from repro.baselines.calvin import CalvinRouter
+from repro.engine.cluster import Cluster
+from repro.sim.kernel import Delay, Kernel
+from repro.sim.network import Network
+from repro.storage.partitioning import make_uniform_ranges
+from repro.workloads.base import ClosedLoopDriver
+from repro.workloads.multitenant import (
+    MultiTenantConfig,
+    MultiTenantWorkload,
+    perfect_partitioner,
+)
+
+
+def _noop(*_args) -> None:
+    pass
+
+
+def calibration(scale: float) -> int:
+    """Machine-speed reference: plain Python call + tuple churn.
+
+    Regression comparisons normalize every bench by this number, so a
+    committed baseline from one machine is comparable on another (CI
+    runners are slower than dev boxes by a roughly uniform factor).
+    """
+    n = max(1, int(2_000_000 * scale))
+    acc = 0
+    f = _noop
+    for i in range(n):
+        f(i, acc)
+        acc = (acc + i) & 0xFFFF
+    return n
+
+
+def kernel_dispatch(scale: float) -> int:
+    """Zero-delay callback chains with a resident far-future timer pool.
+
+    Models the dominant kernel traffic of a cluster run: every process
+    step and event trigger is a ``call_soon``, while thousands of retry
+    and window timers sit in the heap.  Work unit: one dispatched
+    callback.
+    """
+    kernel = Kernel()
+    for i in range(2_000):
+        kernel.call_later(1e12 + i, _noop)
+    n = max(1, int(300_000 * scale))
+    remaining = [n]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            kernel.call_soon(tick)
+
+    chains = 4
+    for _ in range(chains):
+        kernel.call_soon(tick)
+    kernel.run_until(1e11)
+    return n + chains
+
+
+def kernel_timers(scale: float) -> int:
+    """Timer schedule/cancel churn.
+
+    Every ``send_reliable`` leaves a timeout timer that is logically dead
+    the moment the message delivers; this scenario schedules ``n`` timers
+    and cancels every other one (on kernels without cancellable handles
+    the dead timers simply fire into a no-op, which is exactly the old
+    cost being measured).  Work unit: one timer resolved.
+    """
+    kernel = Kernel()
+    n = max(2, int(150_000 * scale))
+    for i in range(n):
+        handle = kernel.call_later(float((i * 7919) % 10_000 + 1), _noop)
+        if i % 2 and handle is not None and hasattr(handle, "cancel"):
+            handle.cancel()
+    kernel.run()
+    return n
+
+
+def kernel_e2e(scale: float) -> int:
+    """End-to-end kernel microbench: processes, events, hops, timeouts.
+
+    One hundred generator processes each run rounds of the canonical
+    simulated request pattern: arm a long timeout (the ``send_reliable``
+    retry timer), submit a request that crosses the simulated "wire"
+    (one short timer) and then traverses an eight-stage zero-delay
+    hand-off chain — the sequencer → router → lock → executor → reply
+    hops a transaction makes through the engine, each a ``call_soon`` —
+    before triggering the client's event; then disarm the timeout and
+    pay think time.  The zero-delay:timer mix (~3:1) matches what
+    instrumented cluster runs produce, where ``call_soon`` dominates.
+    Work unit: one completed round, identical logical work on any
+    kernel (on kernels without cancellable handles the timeouts simply
+    stay queued and fire into no-ops — exactly the old cost).
+    """
+    kernel = Kernel()
+    n_procs = 100
+    n_rounds = max(1, int(1_250 * scale))
+    pipeline_hops = 8
+
+    def hop(remaining: int, event: "object", value: int) -> None:
+        if remaining == 0:
+            event.trigger(value)
+        else:
+            kernel.call_soon(hop, remaining - 1, event, value)
+
+    def client(_pid: int):
+        for round_no in range(n_rounds):
+            event = kernel.event()
+            timeout = kernel.call_later(10_000.0, _noop)
+            kernel.call_later(5.0, hop, pipeline_hops, event, round_no)
+            yield event
+            if timeout is not None and hasattr(timeout, "cancel"):
+                timeout.cancel()
+            yield Delay(1.0)
+
+    for pid in range(n_procs):
+        kernel.process(client(pid), name=f"perf-client-{pid}")
+    kernel.run()
+    return n_procs * n_rounds
+
+
+def network_send(scale: float) -> int:
+    """Reliable message waves across a 4-node fabric.
+
+    Work unit: one delivered message (send + receive + retry-timer
+    resolution on the fault-free path).
+    """
+    kernel = Kernel()
+    network = Network(kernel, CostModel())
+    policy = RetryPolicy()
+    n = max(1, int(40_000 * scale))
+    concurrency = 200
+    sent = [0]
+    delivered = [0]
+
+    def launch() -> None:
+        if sent[0] >= n:
+            return
+        index = sent[0]
+        sent[0] += 1
+        src = index % 4
+        dst = (index + 1) % 4
+        network.send_reliable(
+            src, dst, 1024, arrive, policy, describe="perf"
+        )
+
+    def arrive() -> None:
+        delivered[0] += 1
+        launch()
+
+    for _ in range(concurrency):
+        launch()
+    kernel.run()
+    return delivered[0]
+
+
+#: Generated routing inputs, cached per shape: batch generation is setup,
+#: not the code under measurement, and transactions are immutable so the
+#: same batches can be replayed against every router and repeat.
+_BATCH_CACHE: dict[tuple[int, int, int, int], list[Batch]] = {}
+
+
+def _routing_batches(
+    num_batches: int, batch_size: int, num_keys: int, keys_per_txn: int
+) -> list[Batch]:
+    shape = (num_batches, batch_size, num_keys, keys_per_txn)
+    cached = _BATCH_CACHE.get(shape)
+    if cached is not None:
+        return cached
+    rng = DeterministicRNG(11, "perf-routing")
+    batches = []
+    txn_id = 0
+    for epoch in range(1, num_batches + 1):
+        txns = []
+        for _ in range(batch_size):
+            txn_id += 1
+            # Zipf-ish: half the accesses in a hot 5% of the keyspace.
+            keys = set()
+            while len(keys) < keys_per_txn:
+                if rng.random() < 0.5:
+                    keys.add(rng.randint(0, num_keys // 20 - 1))
+                else:
+                    keys.add(rng.randint(0, num_keys - 1))
+            ordered = sorted(keys)
+            txns.append(
+                Transaction.read_write(
+                    txn_id, ordered, ordered[: keys_per_txn // 2]
+                )
+            )
+        batches.append(Batch(epoch=epoch, txns=txns))
+    _BATCH_CACHE[shape] = batches
+    return batches
+
+
+def routing(scale: float) -> int:
+    """Batch routing throughput: prescient (hermes) + calvin.
+
+    Work unit: one routed transaction.  Each router gets its own view so
+    fusion state evolves exactly as in a real run.
+    """
+    num_nodes = 8
+    num_keys = 20_000
+    num_batches = max(1, int(40 * scale))
+    batch_size = 200
+    total = 0
+    for make_router, overlay in (
+        (PrescientRouter, FusionTable(FusionConfig(capacity=1_000))),
+        (CalvinRouter, None),
+    ):
+        router = make_router()
+        view = ClusterView(
+            range(num_nodes),
+            OwnershipView(make_uniform_ranges(num_keys, num_nodes), overlay),
+        )
+        for batch in _routing_batches(
+            num_batches, batch_size, num_keys, keys_per_txn=8
+        ):
+            plan = router.route_batch(batch, view)
+            total += len(plan.plans)
+    return total
+
+
+def end_to_end(scale: float) -> int:
+    """A small full-cluster run (sequencer → router → locks → executors).
+
+    The multi-tenant workload on 4 nodes under the prescient router —
+    the same machinery every figure benchmark drives.  Work unit: one
+    committed transaction — the same logical work regardless of how
+    many internal kernel events an implementation needs for it.
+    """
+    wl_config = MultiTenantConfig(
+        num_nodes=4,
+        tenants_per_node=2,
+        records_per_tenant=250,
+        rotation_interval_us=200_000.0,
+    )
+    cluster = Cluster(
+        ClusterConfig(
+            num_nodes=4,
+            engine=EngineConfig(epoch_us=5_000.0, workers_per_node=2),
+        ),
+        PrescientRouter(),
+        perfect_partitioner(wl_config),
+        overlay=FusionTable(FusionConfig(capacity=200)),
+    )
+    cluster.load_data(range(wl_config.num_keys))
+    workload = MultiTenantWorkload(
+        wl_config, DeterministicRNG(5, "perf-e2e")
+    )
+    duration_us = max(50_000.0, 1_500_000.0 * scale)
+    driver = ClosedLoopDriver(
+        cluster, workload, num_clients=100, stop_us=duration_us
+    )
+    driver.start()
+    cluster.run_until(duration_us)
+    return cluster.metrics.commits
+
+
+#: name → scenario, in report order.
+SCENARIOS: dict[str, Callable[[float], int]] = {
+    "calibration": calibration,
+    "kernel_dispatch": kernel_dispatch,
+    "kernel_timers": kernel_timers,
+    "kernel_e2e": kernel_e2e,
+    "network_send": network_send,
+    "routing": routing,
+    "end_to_end": end_to_end,
+}
+
+
+def run_scenario(name: str, scale: float = 1.0) -> int:
+    """Run one scenario by name; returns its work-unit count."""
+    return SCENARIOS[name](scale)

@@ -13,14 +13,75 @@ Design notes
   Returning from the generator completes the process's ``done`` event.
 * There is no pre-emption; a process runs until its next yield.  All
   CPU-time accounting is therefore explicit ``Delay`` yields.
+
+Fast path
+---------
+Zero-delay callbacks (``call_soon``) — every process step, event
+trigger, and ``AllOf`` waiter — dominate kernel traffic, so they bypass
+the timer heap entirely: they go onto a FIFO run-queue (a deque) and pop
+in O(1) instead of paying an O(log n) heap sift against thousands of
+pending timers.  Determinism is preserved bit for bit because both
+structures are ordered by the same global ``(time, sequence)`` key: the
+run-queue is naturally sorted (entries are stamped with the current time
+and an ever-increasing sequence number), and the dispatch loop always
+pops whichever structure holds the smaller key — exactly the order the
+single-heap kernel produced.
+
+``call_later`` returns a :class:`TimerHandle`; ``cancel()`` marks the
+entry dead and it is skipped (and its callback reference dropped) when
+it reaches the top of the heap, so retry timeouts and fault windows no
+longer cost a dispatch when they are disarmed.  When dead entries pile
+up faster than they surface, the heap is compacted in place.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 from repro.common.errors import SimulationError
+
+
+class TimerHandle:
+    """A cancellable ``call_later`` registration.
+
+    ``cancel()`` is idempotent and O(1): the heap entry stays put but is
+    marked dead and skipped on pop.  Cancelling an already-fired timer
+    is a no-op.
+    """
+
+    __slots__ = ("kernel", "when", "fn", "args", "cancelled")
+
+    def __init__(
+        self, kernel: "Kernel", when: float, fn: Callable, args: tuple
+    ) -> None:
+        self.kernel = kernel
+        self.when = when
+        self.fn: Callable | None = fn
+        self.args: tuple | None = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Disarm the timer; its callback will never run."""
+        if self.cancelled or self.fn is None:
+            return
+        self.cancelled = True
+        # Drop references so cancelled retry closures (and whatever they
+        # capture — records, clusters) are collectable immediately.
+        self.fn = None
+        self.args = None
+        kernel = self.kernel
+        kernel._dead += 1
+        if (
+            kernel._dead > kernel._COMPACT_MIN_DEAD
+            and kernel._dead * 2 > len(kernel._heap)
+        ):
+            kernel._compact()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else f"at {self.when}"
+        return f"TimerHandle({state})"
 
 
 class Delay:
@@ -112,7 +173,7 @@ class Process:
             self.done.trigger(stop.value)
             return
         if isinstance(yielded, Delay):
-            self.kernel.call_later(yielded.dt, self._step, None)
+            self.kernel.call_later_unhandled(yielded.dt, self._step, None)
         elif isinstance(yielded, SimEvent):
             yielded.add_waiter(self._step)
         elif isinstance(yielded, AllOf):
@@ -144,35 +205,75 @@ class Process:
 
 
 class Kernel:
-    """Deterministic event loop with a simulated clock in microseconds."""
+    """Deterministic event loop with a simulated clock in microseconds.
+
+    Two queues, one order.  ``call_soon`` entries land on ``_runq`` (a
+    FIFO deque) and ``call_later`` entries on ``_heap``; both carry the
+    global ``(when, seq)`` key and the dispatch loop pops whichever head
+    is smaller.  The run-queue is sorted by construction: it is only
+    ever appended to at the current time with a fresh sequence number,
+    and the clock never moves backwards.  Sequence numbers are unique
+    across both queues, so the tuple comparison never ties (and never
+    reaches the uncomparable handle/args slot).
+    """
+
+    #: Compact the timer heap when more than this many cancelled entries
+    #: are buried in it *and* they outnumber the live ones.  Small runs
+    #: never compact; pathological cancel-heavy runs stay O(live).
+    _COMPACT_MIN_DEAD = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._runq: deque[tuple[float, int, Callable, tuple]] = deque()
         self._seq = 0
+        self._dead = 0
         self._running = False
+        self.events_processed = 0
 
     # -- scheduling ----------------------------------------------------------
 
-    def call_later(self, dt: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` after ``dt`` simulated microseconds."""
+    def call_later(self, dt: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` after ``dt`` simulated microseconds.
+
+        Returns a :class:`TimerHandle`; keep it only if the timer might
+        need cancelling (retry timeouts, fault windows).
+        """
+        if dt < 0:
+            raise SimulationError(f"cannot schedule {dt} in the past")
+        self._seq += 1
+        handle = TimerHandle(self, self.now + dt, fn, args)
+        heapq.heappush(self._heap, (handle.when, self._seq, handle))
+        return handle
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at the current time, after pending events."""
+        self._seq += 1
+        self._runq.append((self.now, self._seq, fn, args))
+
+    def call_later_unhandled(self, dt: float, fn: Callable, *args: Any) -> None:
+        """``call_later`` without the cancellation handle.
+
+        For timers that are never cancelled — process ``Delay`` resumes,
+        network transfer deliveries — this skips the
+        :class:`TimerHandle` allocation.  The heap entry is a 4-tuple
+        ``(when, seq, fn, args)`` next to the 3-tuple handle entries;
+        comparisons still resolve at the unique sequence number, and the
+        dispatch loop tells the shapes apart by length.
+        """
         if dt < 0:
             raise SimulationError(f"cannot schedule {dt} in the past")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + dt, self._seq, fn, args))
 
-    def call_soon(self, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` at the current time, after pending events."""
-        self.call_later(0.0, fn, *args)
-
-    def call_at(self, t: float, fn: Callable, *args: Any) -> None:
+    def call_at(self, t: float, fn: Callable, *args: Any) -> TimerHandle:
         """Run ``fn(*args)`` at absolute simulated time ``t``.
 
         A time at or before the current clock runs as soon as possible
         (the fault injector uses this to activate windows that were
         already open when a recovered cluster resumes).
         """
-        self.call_later(max(0.0, t - self.now), fn, *args)
+        return self.call_later(max(0.0, t - self.now), fn, *args)
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh one-shot event bound to this kernel."""
@@ -182,17 +283,66 @@ class Kernel:
         """Start a generator as a simulated process."""
         return Process(self, gen, name=name)
 
+    # -- internals -----------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Rebuilds strictly in place: the dispatch loops hold a local
+        alias to the heap list, and cancellation (hence compaction) can
+        fire mid-dispatch.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap if len(entry) == 4 or not entry[2].cancelled
+        ]
+        heapq.heapify(heap)
+        self._dead = 0
+
     # -- execution -----------------------------------------------------------
+    #
+    # Both loops below are the hottest code in the simulator, hence the
+    # local aliasing and inlined pops.  Full-tuple ``runq[0] < heap[0]``
+    # comparison is safe: sequence numbers are unique across both
+    # queues, so it resolves at slot 1 and never reaches the
+    # uncomparable callback/handle slot.  Heap entries come in two
+    # shapes — ``(when, seq, handle)`` from ``call_later`` and
+    # ``(when, seq, fn, (None,))`` from ``_delay`` — told apart by
+    # length.
 
     def run_until(self, t_end: float) -> None:
         """Advance simulated time to ``t_end``, firing all due events."""
         if self._running:
             raise SimulationError("kernel is already running")
         self._running = True
+        runq, heap = self._runq, self._heap
+        popleft = runq.popleft
+        heappop = heapq.heappop
         try:
-            while self._heap and self._heap[0][0] <= t_end:
-                when, _seq, fn, args = heapq.heappop(self._heap)
+            while True:
+                if runq and (not heap or runq[0] < heap[0]):
+                    when, _seq, fn, args = runq[0]
+                    if when > t_end:
+                        break
+                    popleft()
+                elif heap:
+                    entry = heap[0]
+                    when = entry[0]
+                    if when > t_end:
+                        break
+                    heappop(heap)
+                    if len(entry) == 4:
+                        fn, args = entry[2], entry[3]
+                    else:
+                        handle = entry[2]
+                        if handle.cancelled:
+                            self._dead -= 1
+                            continue
+                        fn, args = handle.fn, handle.args
+                else:
+                    break
                 self.now = when
+                self.events_processed += 1
                 fn(*args)
             self.now = max(self.now, t_end)
         finally:
@@ -203,14 +353,32 @@ class Kernel:
         if self._running:
             raise SimulationError("kernel is already running")
         self._running = True
+        runq, heap = self._runq, self._heap
+        popleft = runq.popleft
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                when, _seq, fn, args = heapq.heappop(self._heap)
+            while True:
+                if runq and (not heap or runq[0] < heap[0]):
+                    when, _seq, fn, args = popleft()
+                elif heap:
+                    entry = heappop(heap)
+                    when = entry[0]
+                    if len(entry) == 4:
+                        fn, args = entry[2], entry[3]
+                    else:
+                        handle = entry[2]
+                        if handle.cancelled:
+                            self._dead -= 1
+                            continue
+                        fn, args = handle.fn, handle.args
+                else:
+                    break
                 self.now = when
+                self.events_processed += 1
                 fn(*args)
         finally:
             self._running = False
 
     def pending(self) -> int:
-        """Number of events still queued (for tests and sanity checks)."""
-        return len(self._heap)
+        """Number of live events still queued (cancelled timers excluded)."""
+        return len(self._runq) + len(self._heap) - self._dead

@@ -193,7 +193,8 @@ class Network:
             self.messages_dropped += 1
             return
         self.bytes_received[dst] = self.bytes_received.get(dst, 0) + payload_bytes
-        self.kernel.call_later(
+        # Deliveries are never cancelled; skip the handle allocation.
+        self.kernel.call_later_unhandled(
             self.costs.transfer_us(payload_bytes) + extra, deliver
         )
 
@@ -223,6 +224,10 @@ class Network:
             return
         self.reliable_in_flight += 1
         delivered = [False]
+        # The pending timeout/retry timer for the current attempt; on
+        # delivery it is cancelled so the common (fault-free) case does
+        # not leave a dead backoff timer buried in the kernel heap.
+        timer: list = [None]
 
         def receive() -> None:
             if delivered[0]:
@@ -230,6 +235,9 @@ class Network:
                 return
             delivered[0] = True
             self.reliable_in_flight -= 1
+            if timer[0] is not None:
+                timer[0].cancel()
+                timer[0] = None
             deliver()
 
         def give_up() -> None:
@@ -252,9 +260,11 @@ class Network:
                 self.retries_sent += 1
             self.send(src, dst, payload_bytes, receive)
             if n + 1 >= policy.max_attempts:
-                self.kernel.call_later(policy.delay_us(n), give_up)
+                timer[0] = self.kernel.call_later(policy.delay_us(n), give_up)
             else:
-                self.kernel.call_later(policy.delay_us(n), attempt, n + 1)
+                timer[0] = self.kernel.call_later(
+                    policy.delay_us(n), attempt, n + 1
+                )
 
         attempt(0)
 

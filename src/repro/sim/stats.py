@@ -88,6 +88,26 @@ class WindowedRate:
         return sum(self._counts.values())
 
 
+def percentiles(
+    values: Iterable[float],
+    quantiles: tuple[float, ...] = (0.5, 0.95, 0.99),
+) -> dict[float, float]:
+    """Nearest-rank percentiles of ``values`` (all 0.0 when empty).
+
+    The value at rank ``ceil(q·n)`` of the sorted sample — an exact
+    sample point, no interpolation, so the result is deterministic and
+    directly comparable across runs.  One sort serves all quantiles.
+    """
+    for q in quantiles:
+        if not 0 < q <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return {q: 0.0 for q in quantiles}
+    return {q: ordered[max(0, math.ceil(q * n) - 1)] for q in quantiles}
+
+
 #: The latency buckets of the paper's Figure 7, in presentation order.
 LATENCY_STAGES = (
     "scheduling",

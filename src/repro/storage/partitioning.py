@@ -28,6 +28,12 @@ from repro.common.types import Key, NodeId
 class Partitioner(ABC):
     """Maps keys to their static home node."""
 
+    #: Monotonic counter bumped on every mutation of the static mapping.
+    #: Consumers that cache ``home`` results (the ownership view) compare
+    #: it to detect re-partitioning and invalidate.  Immutable schemes
+    #: leave it at 0 forever.
+    version: int = 0
+
     @abstractmethod
     def home(self, key: Key) -> NodeId:
         """Return the node that statically owns ``key``."""
@@ -87,6 +93,7 @@ class RangePartitioner(Partitioner):
             if lo <= start < hi:
                 self._owners[i] = new_owner
         self._coalesce()
+        self.version += 1
 
     def _split_at(self, boundary: int) -> None:
         index = bisect.bisect_right(self._starts, boundary) - 1
@@ -177,6 +184,10 @@ class KeyedPartitioner(Partitioner):
         self._inner = inner
 
     @property
+    def version(self) -> int:  # type: ignore[override]
+        return self._inner.version
+
+    @property
     def num_partitions(self) -> int:
         return self._inner.num_partitions
 
@@ -201,6 +212,11 @@ class LookupPartitioner(Partitioner):
         self._table = dict(table)
         self._fallback = fallback
         self._num = num_partitions or fallback.num_partitions
+
+    @property
+    def version(self) -> int:  # type: ignore[override]
+        # The explicit table is immutable; only the fallback can change.
+        return self._fallback.version
 
     @property
     def num_partitions(self) -> int:

@@ -67,7 +67,20 @@ class TestRunWorkload:
         run(make_strategy("calvin"), before_run=lambda c: fired.append(c))
         assert len(fired) == 1
 
-    def test_result_extras_expose_cluster(self):
-        result = run(make_strategy("calvin"))
+    def test_result_extras_expose_cluster_opt_in(self):
+        result = run(make_strategy("calvin"), keep_cluster=True)
         cluster = result.extras["cluster"]
         assert cluster.total_records() == WL.num_keys
+
+    def test_cluster_not_retained_by_default(self):
+        result = run(make_strategy("calvin"))
+        assert "cluster" not in result.extras
+        assert "attached" not in result.extras
+        assert result.extras["submitted"] > 0
+
+    def test_latency_percentiles_populated(self):
+        result = run(make_strategy("calvin"))
+        assert 0 < result.latency_p50_us <= result.latency_p95_us
+        assert result.latency_p95_us <= result.latency_p99_us
+        row = result.summary_row()
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]

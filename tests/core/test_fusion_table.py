@@ -126,3 +126,35 @@ def test_property_capacity_never_exceeded(capacity, ops, eviction):
         assert len(table) == len(live)
     # Whatever remains maps exactly to the live model.
     assert table.snapshot() == live
+
+
+class TestGetBulk:
+    """get_bulk must be observably identical to a per-key get loop."""
+
+    def test_matches_per_key_gets(self):
+        table = FusionTable(FusionConfig(capacity=10))
+        for key in ("a", "b", "c"):
+            table.put(key, ord(key))
+        keys = ["a", "missing", "c", "a"]
+        assert table.get_bulk(keys) == [table.get(k) for k in keys]
+
+    def test_empty_input(self):
+        assert FusionTable().get_bulk([]) == []
+
+    def test_bulk_refreshes_lru_recency_per_hit(self):
+        table = FusionTable(FusionConfig(capacity=2, eviction="lru"))
+        table.put("a", 1)
+        table.put("b", 2)
+        # Bulk lookup touches "a" last, so "b" is the LRU victim —
+        # exactly what the equivalent get() sequence would leave behind.
+        assert table.get_bulk(["b", "a"]) == [2, 1]
+        evicted = table.put("c", 3)
+        assert evicted == [("b", 2)]
+        assert "a" in table
+
+    def test_bulk_misses_do_not_touch_recency(self):
+        table = FusionTable(FusionConfig(capacity=2, eviction="lru"))
+        table.put("a", 1)
+        table.put("b", 2)
+        assert table.get_bulk(["x", "a"]) == [None, 1]
+        assert table.put("c", 3) == [("b", 2)]

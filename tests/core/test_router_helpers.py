@@ -184,3 +184,36 @@ class TestSplitSystemTxns:
         assert len(plans) == 1
         assert migrations == [chunk_txn]
         assert view.active_nodes == [0, 1, 2]
+
+
+class TestOwnersBulk:
+    """owners_bulk must agree with scalar owner() and see every update."""
+
+    def test_matches_scalar_owner(self):
+        view = OwnershipView(make_uniform_ranges(300, 3))
+        view.record_move(5, 2)
+        view.record_move(250, 0)
+        keys = [0, 5, 99, 100, 250, 299, 5]
+        assert view.owners_bulk(keys) == [view.owner(k) for k in keys]
+
+    def test_duplicate_keys_allowed(self):
+        view = OwnershipView(make_uniform_ranges(30, 3))
+        assert view.owners_bulk([1, 1, 1]) == [0, 0, 0]
+        assert view.owners_bulk([]) == []
+
+    def test_home_cache_sees_static_reassignment(self):
+        static = make_uniform_ranges(300, 3)
+        view = OwnershipView(static)
+        assert view.owner(5) == 0
+        assert view.owners_bulk([5]) == [0]  # warm the memoized home
+        static.reassign(0, 10, 2)
+        assert view.home(5) == 2
+        assert view.owner(5) == 2
+        assert view.owners_bulk([5]) == [2]
+
+    def test_overlay_still_wins_after_reassignment(self):
+        static = make_uniform_ranges(300, 3)
+        view = OwnershipView(static)
+        view.record_move(5, 1)
+        static.reassign(0, 10, 2)
+        assert view.owners_bulk([5, 6]) == [1, 2]

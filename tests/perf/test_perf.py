@@ -1,0 +1,109 @@
+"""Unit tests for the perf microbenchmark harness and regression gate."""
+
+import json
+
+import pytest
+
+from repro.perf import scenarios
+from repro.perf.__main__ import compare, main, normalized
+from repro.perf.measure import measure
+
+
+class TestMeasure:
+    def test_keeps_best_rate(self):
+        calls = []
+
+        def scenario():
+            calls.append(1)
+            return 100
+
+        result = measure("x", scenario, repeats=3)
+        assert len(calls) == 3
+        assert result.events == 100
+        assert result.events_per_s > 0
+        assert result.repeats == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            measure("x", lambda: 1, repeats=0)
+        with pytest.raises(ValueError):
+            measure("x", lambda: 0, repeats=1)
+
+    def test_profile_attaches_stats(self):
+        result = measure("x", lambda: 10, repeats=1, profile=True)
+        assert "cumulative" in result.profile_top
+
+
+class TestScenarios:
+    """Every scenario must run at tiny scale and report its work units."""
+
+    @pytest.mark.parametrize("name", list(scenarios.SCENARIOS))
+    def test_runs_at_tiny_scale(self, name):
+        assert scenarios.run_scenario(name, scale=0.01) > 0
+
+    def test_scenarios_are_deterministic(self):
+        # Same scale -> same unit count (the denominator of events/s).
+        for name in ("kernel_dispatch", "kernel_e2e", "routing"):
+            a = scenarios.run_scenario(name, scale=0.01)
+            b = scenarios.run_scenario(name, scale=0.01)
+            assert a == b, name
+
+
+def entry(**rates):
+    benches = {
+        name: {"events_per_s": rate, "events": 1, "wall_s": 1.0,
+               "repeats": 1}
+        for name, rate in rates.items()
+    }
+    return {"label": "base", "benches": benches}
+
+
+class TestCompare:
+    def test_normalized_divides_by_calibration(self):
+        norm = normalized(entry(calibration=200.0, routing=50.0)["benches"])
+        assert norm == {"routing": 0.25}
+
+    def test_gate_passes_within_tolerance(self):
+        base = entry(calibration=100.0, routing=50.0)
+        current = entry(calibration=100.0, routing=40.0)["benches"]
+        assert compare(current, base, tolerance=0.30) == []
+
+    def test_gate_fails_beyond_tolerance(self):
+        base = entry(calibration=100.0, routing=50.0)
+        current = entry(calibration=100.0, routing=30.0)["benches"]
+        problems = compare(current, base, tolerance=0.30)
+        assert len(problems) == 1 and "routing" in problems[0]
+
+    def test_faster_machine_is_not_a_regression(self):
+        # Twice the raw speed everywhere normalizes to the same score.
+        base = entry(calibration=100.0, routing=50.0)
+        current = entry(calibration=200.0, routing=100.0)["benches"]
+        assert compare(current, base, tolerance=0.30) == []
+
+    def test_missing_calibration_reported(self):
+        problems = compare(entry(routing=1.0)["benches"],
+                           entry(routing=1.0), tolerance=0.3)
+        assert "calibration" in problems[0]
+
+
+class TestCli:
+    def test_json_and_compare_roundtrip(self, tmp_path, capsys):
+        track = tmp_path / "bench.json"
+        argv = ["--scale", "0.01", "--repeats", "1",
+                "--bench", "kernel_dispatch",
+                "--json", str(track), "--label", "seed"]
+        assert main(argv) == 0
+        doc = json.loads(track.read_text())
+        assert doc["schema"] == 1
+        assert doc["history"][0]["label"] == "seed"
+        assert "kernel_dispatch" in doc["history"][0]["benches"]
+        # Self-compare at the same scale passes the gate.
+        assert main(["--scale", "0.01", "--repeats", "1",
+                     "--bench", "kernel_dispatch",
+                     "--compare", str(track)]) == 0
+        out = capsys.readouterr().out
+        assert "perf gate OK" in out
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--bench", "nope"])

@@ -168,3 +168,124 @@ class TestProcess:
         kernel.process(parent())
         kernel.run()
         assert log == [(5, "done")]
+
+
+class TestFastPath:
+    """The run-queue/cancellable-timer fast path (kept bit-compatible)."""
+
+    def test_call_soon_runs_before_later_timers(self):
+        kernel = Kernel()
+        fired = []
+        kernel.call_later(5, fired.append, "timer")
+        kernel.call_soon(fired.append, "soon")
+        kernel.run()
+        assert fired == ["soon", "timer"]
+
+    def test_call_soon_fifo_within_same_time(self):
+        kernel = Kernel()
+        fired = []
+
+        def chain(tag, depth):
+            fired.append((tag, depth))
+            if depth:
+                kernel.call_soon(chain, tag, depth - 1)
+
+        kernel.call_soon(chain, "a", 2)
+        kernel.call_soon(chain, "b", 2)
+        kernel.run()
+        assert fired == [("a", 2), ("b", 2), ("a", 1), ("b", 1),
+                         ("a", 0), ("b", 0)]
+
+    def test_zero_delay_timer_interleaves_with_runq_in_seq_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.call_soon(fired.append, 1)
+        kernel.call_later(0, fired.append, 2)
+        kernel.call_soon(fired.append, 3)
+        kernel.run()
+        assert fired == [1, 2, 3]
+
+    def test_cancelled_timer_never_fires(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.call_later(10, fired.append, "dead")
+        kernel.call_later(20, fired.append, "alive")
+        handle.cancel()
+        kernel.run()
+        assert fired == ["alive"]
+
+    def test_cancel_is_idempotent(self):
+        kernel = Kernel()
+        handle = kernel.call_later(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert kernel.pending() == 0
+        kernel.run()
+
+    def test_pending_excludes_cancelled(self):
+        kernel = Kernel()
+        handles = [kernel.call_later(10 + i, lambda: None) for i in range(4)]
+        kernel.call_soon(lambda: None)
+        assert kernel.pending() == 5
+        handles[0].cancel()
+        handles[2].cancel()
+        assert kernel.pending() == 3
+
+    def test_call_later_unhandled_fires_in_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.call_later(10, fired.append, "handled")
+        kernel.call_later_unhandled(5, fired.append, "raw")
+        kernel.run()
+        assert fired == ["raw", "handled"]
+        with pytest.raises(SimulationError):
+            kernel.call_later_unhandled(-1, fired.append, "bad")
+
+    def test_call_at_returns_cancellable_handle(self):
+        kernel = Kernel()
+        fired = []
+        keep = kernel.call_at(30, fired.append, "keep")
+        drop = kernel.call_at(20, fired.append, "drop")
+        drop.cancel()
+        kernel.run()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_compaction_purges_dead_entries_mid_run(self):
+        # Enough cancellations to cross the compaction threshold while
+        # the dispatch loop is running: the heap must shrink in place
+        # and every surviving timer must still fire, in order.
+        kernel = Kernel()
+        fired = []
+        doomed = [kernel.call_later(1_000 + i, fired.append, -i)
+                  for i in range(200)]
+        kernel.call_later(2_000, fired.append, "survivor")
+
+        def cancel_all():
+            for handle in doomed:
+                handle.cancel()
+
+        kernel.call_later(1, cancel_all)
+        kernel.run()
+        assert fired == ["survivor"]
+        assert kernel.pending() == 0
+        assert len(kernel._heap) == 0
+
+    def test_cancellation_storm_keeps_determinism(self):
+        # Interleave schedules and cancels; the surviving timers fire
+        # exactly in (time, seq) order regardless of compaction.
+        kernel = Kernel()
+        fired = []
+        handles = {}
+        for i in range(300):
+            handles[i] = kernel.call_later(
+                float((i * 37) % 50 + 1), fired.append, i
+            )
+        for i in range(0, 300, 2):
+            handles[i].cancel()
+        kernel.run()
+        expected = sorted(
+            (i for i in range(300) if i % 2),
+            key=lambda i: ((i * 37) % 50 + 1, i),
+        )
+        assert fired == expected
