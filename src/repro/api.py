@@ -1,0 +1,296 @@
+"""The unified experiment facade: one spec, one entry point.
+
+Historically the bench layer grew three overlapping ways to launch a
+run — :func:`repro.bench.harness.run_workload` (one strategy, raw
+knobs), the ``*_comparison`` helpers in :mod:`repro.bench.figures`
+(fleet assembly, each with its own copy of ``seed``/``jobs``/
+``keep_cluster``/window plumbing), and the preset constants in
+:mod:`repro.bench.presets`.  This module collapses them behind a single
+pair:
+
+    from repro.api import ExperimentSpec, run_experiment
+
+    results = run_experiment(ExperimentSpec(
+        kind="google",
+        strategies=("calvin", "hermes"),
+        duration_s=4.0,
+        jobs=2,
+    ))
+
+Every cross-cutting knob lives on the spec exactly once (``seed``,
+``duration_s``, ``warmup_us``, ``window_us``, ``jobs``,
+``keep_cluster``, ``trace``); kind-specific knobs go in ``params``.
+The legacy ``*_comparison`` functions still work but now delegate here,
+emitting ``DeprecationWarning`` when the collapsed keywords are passed
+to them directly.
+
+``PRESETS`` names ready-made specs for the paper's figures; the
+observability CLI (``python -m repro.obs``) records traced runs through
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.bench import figures as _figures
+from repro.bench.harness import ExperimentResult, parallel_map
+from repro.bench.presets import GOOGLE_BENCH, bench_scale
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+
+__all__ = ["ExperimentSpec", "PRESETS", "preset_spec", "run_experiment"]
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything needed to launch one experiment (fleet or single run).
+
+    ``kind`` selects the experiment family: ``"google"`` (Google-trace
+    YCSB, Figures 2/6–10), ``"tpcc"`` / ``"tpcc_sweep"`` (Figure 11),
+    ``"multitenant"`` (Figures 12/13), ``"scaleout"`` (Figure 14).
+    ``strategies`` are strategy names (scale-out: variant names), one
+    run each.  ``warmup_us``/``window_us`` of ``None`` mean "the kind's
+    default"; ``duration_s`` is in *unscaled* simulated seconds — the
+    ``REPRO_BENCH_SCALE`` factor is applied when the runs are built,
+    exactly as the legacy entry points did.
+
+    ``trace`` attaches one :class:`repro.obs.Tracer` to the runs; traced
+    experiments must be serial (``jobs`` unset or 1) because a live
+    tracer cannot cross process boundaries.
+    """
+
+    kind: str
+    strategies: tuple[str, ...] = ()
+    seed: int = 7
+    duration_s: float | None = None
+    warmup_us: float | None = None
+    window_us: float | None = None
+    jobs: int | None = None
+    keep_cluster: bool = False
+    trace: "Tracer | None" = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.strategies = tuple(self.strategies)
+
+    def with_overrides(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced (specs are reusable)."""
+        return replace(self, **changes)
+
+
+def run_experiment(spec: ExperimentSpec):
+    """Run the experiment the spec describes.
+
+    Returns what the underlying family returns: a list of
+    :class:`~repro.bench.harness.ExperimentResult` in ``strategies``
+    order for every kind except ``"tpcc_sweep"``, which returns the
+    ``{hot_fraction: [results]}`` grid.
+    """
+    runner = _RUNNERS.get(spec.kind)
+    if runner is None:
+        raise ValueError(
+            f"unknown experiment kind {spec.kind!r}; "
+            f"expected one of {sorted(_RUNNERS)}"
+        )
+    if not spec.strategies:
+        raise ValueError("ExperimentSpec.strategies must name at least one run")
+    _figures._require_serial_for_cluster(spec.jobs, spec.keep_cluster)
+    if spec.trace is not None and spec.jobs is not None and spec.jobs > 1:
+        raise ValueError(
+            "trace= records into one in-process Tracer, which cannot be "
+            "shared with worker processes; use jobs=1 (or None)"
+        )
+    return runner(spec)
+
+
+def preset_spec(name: str, **overrides) -> ExperimentSpec:
+    """The named figure preset, optionally with spec fields overridden."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; expected one of {sorted(PRESETS)}"
+        ) from None
+    return factory().with_overrides(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Kind runners (fleet assembly; workers live in repro.bench.figures)
+# ----------------------------------------------------------------------
+
+
+def _reject_unknown(kind: str, leftover: dict) -> None:
+    if leftover:
+        raise TypeError(
+            f"unknown params for kind {kind!r}: {sorted(leftover)}"
+        )
+
+
+def _opts(spec: ExperimentSpec) -> dict:
+    """The cross-cutting per-run overrides shipped in each task tuple."""
+    return {
+        "warmup_us": spec.warmup_us,
+        "window_us": spec.window_us,
+        "trace": spec.trace,
+    }
+
+
+def _duration_us(spec: ExperimentSpec, default_s: float) -> float:
+    return (spec.duration_s or default_s) * bench_scale() * 1e6
+
+
+def _run_google(spec: ExperimentSpec) -> list[ExperimentResult]:
+    p = dict(spec.params)
+    num_nodes = p.pop("num_nodes", None) or GOOGLE_BENCH["num_nodes"]
+    num_keys = p.pop("num_keys", None) or GOOGLE_BENCH["num_keys"]
+    rate_scale = p.pop("rate_scale", None) or 4_500.0
+    overrides = dict(p.pop("ycsb_overrides", None) or {})
+    schism_periods = p.pop("schism_periods", None)
+    _reject_unknown("google", p)
+    duration_us = _duration_us(spec, GOOGLE_BENCH["duration_s"])
+    opts = _opts(spec)
+    tasks = [
+        (
+            name, num_nodes, num_keys, rate_scale, duration_us, overrides,
+            schism_periods.get(name) if schism_periods else None,
+            spec.seed, spec.keep_cluster, opts,
+        )
+        for name in spec.strategies
+    ]
+    return parallel_map(_figures._google_task, tasks, jobs=spec.jobs)
+
+
+def _run_tpcc(spec: ExperimentSpec) -> list[ExperimentResult]:
+    p = dict(spec.params)
+    hot_fraction = p.pop("hot_fraction", 0.0)
+    num_nodes = p.pop("num_nodes", None) or 8
+    clients = p.pop("clients", None) or 900
+    _reject_unknown("tpcc", p)
+    duration_us = _duration_us(spec, 4.0)
+    opts = _opts(spec)
+    tasks = [
+        (name, hot_fraction, num_nodes, duration_us, clients, spec.seed,
+         spec.keep_cluster, opts)
+        for name in spec.strategies
+    ]
+    return parallel_map(_figures._tpcc_task, tasks, jobs=spec.jobs)
+
+
+def _run_tpcc_sweep(spec: ExperimentSpec) -> dict[float, list[ExperimentResult]]:
+    p = dict(spec.params)
+    hot_fractions = tuple(p.pop("hot_fractions"))
+    num_nodes = p.pop("num_nodes", None) or 8
+    clients = p.pop("clients", None) or 900
+    _reject_unknown("tpcc_sweep", p)
+    duration_us = _duration_us(spec, 4.0)
+    opts = _opts(spec)
+    tasks = [
+        (name, hot, num_nodes, duration_us, clients, spec.seed, False, opts)
+        for hot in hot_fractions
+        for name in spec.strategies
+    ]
+    flat = parallel_map(_figures._tpcc_task, tasks, jobs=spec.jobs)
+    width = len(spec.strategies)
+    return {
+        hot: flat[i * width:(i + 1) * width]
+        for i, hot in enumerate(hot_fractions)
+    }
+
+
+def _run_multitenant(spec: ExperimentSpec) -> list[ExperimentResult]:
+    from repro.workloads.multitenant import MultiTenantConfig, perfect_partitioner
+
+    p = dict(spec.params)
+    wl_config = p.pop("config", None) or MultiTenantConfig(
+        num_nodes=4,
+        tenants_per_node=4,
+        records_per_tenant=2_500,
+        rotation_interval_us=2_500_000.0,
+    )
+    make_part = p.pop("partitioner_factory", None) or perfect_partitioner
+    clients = p.pop("clients", None) or 800
+    _reject_unknown("multitenant", p)
+    duration_us = _duration_us(spec, 8.0)
+    window_us = spec.window_us if spec.window_us is not None else 500_000.0
+    opts = _opts(spec)
+    tasks = [
+        (name, wl_config, make_part, duration_us, clients, spec.seed,
+         window_us, spec.keep_cluster, opts)
+        for name in spec.strategies
+    ]
+    return parallel_map(_figures._multitenant_task, tasks, jobs=spec.jobs)
+
+
+def _run_scaleout(spec: ExperimentSpec) -> list[ExperimentResult]:
+    kwargs = dict(spec.params)
+    if spec.duration_s is not None:
+        kwargs["duration_s"] = spec.duration_s
+    kwargs["seed"] = spec.seed
+    kwargs["keep_cluster"] = spec.keep_cluster
+    if spec.warmup_us is not None:
+        kwargs["warmup_us"] = spec.warmup_us
+    if spec.window_us is not None:
+        kwargs["stats_window_us"] = spec.window_us
+    if spec.trace is not None:
+        kwargs["trace"] = spec.trace
+    tasks = [(variant, kwargs) for variant in spec.strategies]
+    return parallel_map(_figures._scaleout_task, tasks, jobs=spec.jobs)
+
+
+_RUNNERS: dict[str, Callable[[ExperimentSpec], object]] = {
+    "google": _run_google,
+    "tpcc": _run_tpcc,
+    "tpcc_sweep": _run_tpcc_sweep,
+    "multitenant": _run_multitenant,
+    "scaleout": _run_scaleout,
+}
+
+
+# ----------------------------------------------------------------------
+# Figure presets (what `python -m repro.obs record --preset ...` uses)
+# ----------------------------------------------------------------------
+
+_ONLINE = ("calvin", "gstore", "tpart", "leap", "hermes")
+
+PRESETS: dict[str, Callable[[], ExperimentSpec]] = {
+    # Look-back motivation: systems that plan from history.
+    "fig02": lambda: ExperimentSpec(
+        kind="google", strategies=("calvin", "clay", "leap")),
+    # Hermes vs. look-back planners (Schism trained on two periods).
+    "fig06a": lambda: ExperimentSpec(
+        kind="google",
+        strategies=("calvin", "clay", "schism1", "schism2", "hermes"),
+        params={"schism_periods": {
+            "schism1": (0.55, 0.95),
+            "schism2": (0.05, 0.45),
+        }},
+    ),
+    # Hermes vs. on-line approaches.
+    "fig06b": lambda: ExperimentSpec(kind="google", strategies=_ONLINE),
+    # Latency breakdown companion run.
+    "fig07": lambda: ExperimentSpec(
+        kind="google",
+        strategies=("calvin", "clay", "gstore", "tpart", "leap", "hermes"),
+        duration_s=4.0,
+    ),
+    # TPC-C with a 90 % hot spot on node 0's warehouses.
+    "fig11": lambda: ExperimentSpec(
+        kind="tpcc",
+        strategies=("calvin", "clay", "tpart", "hermes"),
+        params={"hot_fraction": 0.9},
+    ),
+    # Multi-tenant rotating hot spot.
+    "fig12": lambda: ExperimentSpec(
+        kind="multitenant",
+        strategies=("calvin", "tpart", "leap", "clay", "hermes"),
+    ),
+    # Scale-out event (3 → 4 nodes).
+    "fig14": lambda: ExperimentSpec(
+        kind="scaleout",
+        strategies=("squall", "clay+squall", "hermes-nocold-5",
+                    "hermes-cold-5"),
+    ),
+}

@@ -17,12 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.figures import (
-    google_comparison,
-    multitenant_comparison,
-    scaleout_comparison,
-    tpcc_comparison,
-)
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.reporting import (
     format_latency_breakdown,
     format_series,
@@ -74,10 +69,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "google":
-        results = google_comparison(
-            args.strategies, duration_s=args.duration,
-            rate_scale=args.rate_scale, jobs=args.jobs,
-        )
+        results = run_experiment(ExperimentSpec(
+            kind="google", strategies=tuple(args.strategies),
+            duration_s=args.duration, jobs=args.jobs,
+            params={"rate_scale": args.rate_scale},
+        ))
         print(format_table(results, "Google-trace YCSB"))
         print(format_series(results))
         if args.latency:
@@ -85,25 +81,28 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "tpcc":
-        results = tpcc_comparison(
-            args.strategies, hot_fraction=args.hot,
+        results = run_experiment(ExperimentSpec(
+            kind="tpcc", strategies=tuple(args.strategies),
             duration_s=args.duration, jobs=args.jobs,
-        )
+            params={"hot_fraction": args.hot},
+        ))
         print(format_table(results, f"TPC-C, hot fraction {args.hot}"))
         return 0
 
     if args.command == "multitenant":
-        results = multitenant_comparison(
-            args.strategies, duration_s=args.duration, jobs=args.jobs,
-        )
+        results = run_experiment(ExperimentSpec(
+            kind="multitenant", strategies=tuple(args.strategies),
+            duration_s=args.duration, jobs=args.jobs,
+        ))
         print(format_table(results, "multi-tenant, rotating hot spot"))
         print(format_series(results))
         return 0
 
     if args.command == "scaleout":
-        results = scaleout_comparison(
-            args.variants, duration_s=args.duration, jobs=args.jobs,
-        )
+        results = run_experiment(ExperimentSpec(
+            kind="scaleout", strategies=tuple(args.variants),
+            duration_s=args.duration, jobs=args.jobs,
+        ))
         print(format_table(results, "scale-out 3 -> 4 nodes"))
         print(format_series(results))
         return 0

@@ -5,25 +5,32 @@ which assemble the right workload, strategies, and special cases
 (Schism's offline partitioning, Clay's monitor, the scale-out event
 script) on top of :func:`repro.bench.harness.run_workload`.
 
-Every comparison accepts ``jobs``: with ``jobs=N`` the per-strategy (or
-per-variant) runs fan out over a process pool via
-:func:`repro.bench.harness.parallel_map`.  The loop bodies live in
-module-level ``_*_task`` workers that take only picklable primitives and
-rebuild the trace/spec/workload *inside* the worker from the same seeds
-— which is exactly why a parallel sweep returns bit-identical results in
-the same order as the serial one (the serial path runs the very same
-workers in-process).
+The ``*_comparison`` entry points are kept for compatibility; they now
+delegate to the unified facade in :mod:`repro.api`
+(:func:`repro.api.run_experiment` over an
+:class:`repro.api.ExperimentSpec`), which owns the fleet assembly.
+Passing the collapsed keywords (``seed``, ``jobs``, ``keep_cluster``,
+``stats_window_s``) here is deprecated — put them on the spec instead.
+
+The loop bodies live in module-level ``_*_task`` workers that take only
+picklable primitives and rebuild the trace/spec/workload *inside* the
+worker from the same seeds — which is exactly why a parallel sweep
+returns bit-identical results in the same order as the serial one (the
+serial path runs the very same workers in-process).  Each task tuple
+ends with an ``opts`` dict carrying the cross-cutting overrides
+(``warmup_us``, ``window_us``, ``trace``); ``trace`` must be ``None``
+for multi-process fleets (a live Tracer cannot cross processes).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Sequence
 
 from repro.baselines.schism import schism_partition
 from repro.baselines.squall import SquallExecutor
-from repro.bench.harness import ExperimentResult, parallel_map, run_workload
+from repro.bench.harness import ExperimentResult, run_workload
 from repro.bench.presets import (
-    GOOGLE_BENCH,
     bench_cluster_config,
     bench_fusion_config,
     bench_scale,
@@ -46,6 +53,23 @@ from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, tpcc_partitioner
 from repro.workloads.ycsb import GoogleYCSBWorkload, YCSBConfig
 
 SEED = 7
+
+#: Sentinel distinguishing "caller explicitly passed this deprecated
+#: keyword" from "caller left the default" in the legacy wrappers.
+_UNSET = object()
+
+
+def _warn_legacy_kwargs(fn_name: str, **passed: object) -> None:
+    """DeprecationWarning for collapsed kwargs passed to legacy wrappers."""
+    explicit = sorted(k for k, v in passed.items() if v is not _UNSET)
+    if explicit:
+        warnings.warn(
+            f"{fn_name}(..., {', '.join(explicit)}=...) is deprecated: these "
+            "knobs moved onto repro.api.ExperimentSpec — build a spec and "
+            "call repro.api.run_experiment instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 def _require_serial_for_cluster(jobs: int | None, keep_cluster: bool) -> None:
@@ -77,7 +101,7 @@ def google_spec(name: str, num_keys: int) -> StrategySpec:
 def _google_task(task: tuple) -> ExperimentResult:
     """One Google-YCSB strategy run, from primitives (pool worker)."""
     (name, num_nodes, num_keys, rate_scale, duration_us, overrides,
-     schism_period, seed, keep_cluster) = task
+     schism_period, seed, keep_cluster, opts) = task
     overrides = dict(overrides)
     ycsb_config = YCSBConfig(
         num_keys=num_keys,
@@ -117,12 +141,16 @@ def _google_task(task: tuple) -> ExperimentResult:
         keys=range(num_keys),
         seed=seed,
         duration_us=duration_us,
-        warmup_us=min(2_000_000.0, duration_us / 5),
+        warmup_us=opts.get("warmup_us") if opts.get("warmup_us") is not None
+        else min(2_000_000.0, duration_us / 5),
         drain=False,
         mode="open",
         rate_per_s=rate_fn,
-        stats_window_us=max(500_000.0, duration_us / 16),
+        stats_window_us=opts.get("window_us")
+        if opts.get("window_us") is not None
+        else max(500_000.0, duration_us / 16),
         keep_cluster=keep_cluster,
+        trace=opts.get("trace"),
     )
 
 
@@ -135,34 +163,40 @@ def google_comparison(
     rate_scale: float = 4_500.0,
     ycsb_overrides: dict | None = None,
     schism_periods: dict[str, tuple[float, float]] | None = None,
-    seed: int = SEED,
-    jobs: int | None = None,
-    keep_cluster: bool = False,
+    seed=_UNSET,
+    jobs=_UNSET,
+    keep_cluster=_UNSET,
 ) -> list[ExperimentResult]:
     """Run the Section 5.2 comparison for the named strategies.
 
     ``schism_periods`` maps a label (e.g. ``"schism1"``) to the fraction
     interval of the run used as its offline training trace; those
     entries run Calvin over the Schism partitioning, as in Figure 6(a).
-    ``jobs=N`` fans the strategies out over N processes (each worker
-    rebuilds the same seeded trace, so results are unchanged).
-    """
-    _require_serial_for_cluster(jobs, keep_cluster)
-    num_nodes = num_nodes or GOOGLE_BENCH["num_nodes"]
-    num_keys = num_keys or GOOGLE_BENCH["num_keys"]
-    duration_s = (duration_s or GOOGLE_BENCH["duration_s"]) * bench_scale()
-    duration_us = duration_s * 1e6
-    overrides = dict(ycsb_overrides or {})
 
-    tasks = [
-        (
-            name, num_nodes, num_keys, rate_scale, duration_us, overrides,
-            schism_periods.get(name) if schism_periods else None,
-            seed, keep_cluster,
-        )
-        for name in strategies
-    ]
-    return parallel_map(_google_task, tasks, jobs=jobs)
+    Legacy wrapper: delegates to :func:`repro.api.run_experiment`; the
+    collapsed kwargs (``seed``, ``jobs``, ``keep_cluster``) are
+    deprecated here and live on :class:`repro.api.ExperimentSpec`.
+    """
+    from repro.api import ExperimentSpec, run_experiment
+
+    _warn_legacy_kwargs(
+        "google_comparison", seed=seed, jobs=jobs, keep_cluster=keep_cluster
+    )
+    return run_experiment(ExperimentSpec(
+        kind="google",
+        strategies=tuple(strategies),
+        duration_s=duration_s,
+        seed=SEED if seed is _UNSET else seed,
+        jobs=None if jobs is _UNSET else jobs,
+        keep_cluster=False if keep_cluster is _UNSET else keep_cluster,
+        params={
+            "num_nodes": num_nodes,
+            "num_keys": num_keys,
+            "rate_scale": rate_scale,
+            "ycsb_overrides": ycsb_overrides,
+            "schism_periods": schism_periods,
+        },
+    ))
 
 
 def _schism_partitioner_factory(
@@ -203,7 +237,7 @@ def _schism_partitioner_factory(
 def _tpcc_task(task: tuple) -> ExperimentResult:
     """One TPC-C strategy × hot-fraction run (pool worker)."""
     (name, hot_fraction, num_nodes, duration_us, clients, seed,
-     keep_cluster) = task
+     keep_cluster, opts) = task
     tpcc_config = TPCCConfig(
         num_warehouses=num_nodes * 10,
         num_nodes=num_nodes,
@@ -228,11 +262,14 @@ def _tpcc_task(task: tuple) -> ExperimentResult:
         workload_factory=lambda rng: TPCCWorkload(tpcc_config, rng),
         seed=seed,
         duration_us=duration_us,
-        warmup_us=min(1_000_000.0, duration_us / 5),
+        warmup_us=opts.get("warmup_us") if opts.get("warmup_us") is not None
+        else min(1_000_000.0, duration_us / 5),
         drain=False,
         mode="closed",
         clients=clients,
+        stats_window_us=opts.get("window_us") or 1_000_000.0,
         keep_cluster=keep_cluster,
+        trace=opts.get("trace"),
     )
 
 
@@ -243,19 +280,29 @@ def tpcc_comparison(
     num_nodes: int = 8,
     duration_s: float = 4.0,
     clients: int = 900,
-    seed: int = SEED,
-    jobs: int | None = None,
-    keep_cluster: bool = False,
+    seed=_UNSET,
+    jobs=_UNSET,
+    keep_cluster=_UNSET,
 ) -> list[ExperimentResult]:
-    """Closed-loop TPC-C with a node-0 hot spot."""
-    _require_serial_for_cluster(jobs, keep_cluster)
-    duration_us = duration_s * bench_scale() * 1e6
-    tasks = [
-        (name, hot_fraction, num_nodes, duration_us, clients, seed,
-         keep_cluster)
-        for name in strategies
-    ]
-    return parallel_map(_tpcc_task, tasks, jobs=jobs)
+    """Closed-loop TPC-C with a node-0 hot spot (legacy wrapper)."""
+    from repro.api import ExperimentSpec, run_experiment
+
+    _warn_legacy_kwargs(
+        "tpcc_comparison", seed=seed, jobs=jobs, keep_cluster=keep_cluster
+    )
+    return run_experiment(ExperimentSpec(
+        kind="tpcc",
+        strategies=tuple(strategies),
+        duration_s=duration_s,
+        seed=SEED if seed is _UNSET else seed,
+        jobs=None if jobs is _UNSET else jobs,
+        keep_cluster=False if keep_cluster is _UNSET else keep_cluster,
+        params={
+            "hot_fraction": hot_fraction,
+            "num_nodes": num_nodes,
+            "clients": clients,
+        },
+    ))
 
 
 def tpcc_sweep(
@@ -265,27 +312,31 @@ def tpcc_sweep(
     num_nodes: int = 8,
     duration_s: float = 4.0,
     clients: int = 900,
-    seed: int = SEED,
-    jobs: int | None = None,
+    seed=_UNSET,
+    jobs=_UNSET,
 ) -> dict[float, list[ExperimentResult]]:
     """The full Figure 11 grid: every strategy at every hot fraction.
 
-    Fans the whole (strategy × hot-fraction) product into one pool, so
-    ``jobs`` parallelism is not capped by the strategy count, then
-    regroups results per hot fraction in submission order.
+    Legacy wrapper over the ``"tpcc_sweep"`` experiment kind, which fans
+    the whole (strategy × hot-fraction) product into one pool — ``jobs``
+    parallelism is not capped by the strategy count — then regroups
+    results per hot fraction in submission order.
     """
-    duration_us = duration_s * bench_scale() * 1e6
-    tasks = [
-        (name, hot, num_nodes, duration_us, clients, seed, False)
-        for hot in hot_fractions
-        for name in strategies
-    ]
-    flat = parallel_map(_tpcc_task, tasks, jobs=jobs)
-    width = len(strategies)
-    return {
-        hot: flat[i * width:(i + 1) * width]
-        for i, hot in enumerate(hot_fractions)
-    }
+    from repro.api import ExperimentSpec, run_experiment
+
+    _warn_legacy_kwargs("tpcc_sweep", seed=seed, jobs=jobs)
+    return run_experiment(ExperimentSpec(
+        kind="tpcc_sweep",
+        strategies=tuple(strategies),
+        duration_s=duration_s,
+        seed=SEED if seed is _UNSET else seed,
+        jobs=None if jobs is _UNSET else jobs,
+        params={
+            "hot_fractions": tuple(hot_fractions),
+            "num_nodes": num_nodes,
+            "clients": clients,
+        },
+    ))
 
 
 def _clay_tpcc_spec(
@@ -354,7 +405,7 @@ def _clay_tpcc_spec(
 def _multitenant_task(task: tuple) -> ExperimentResult:
     """One multi-tenant strategy run (pool worker)."""
     (name, wl_config, make_part, duration_us, clients, seed,
-     stats_window_us, keep_cluster) = task
+     stats_window_us, keep_cluster, opts) = task
     spec = make_strategy(
         name,
         fusion=bench_fusion_config(capacity=wl_config.num_keys // 20),
@@ -368,12 +419,14 @@ def _multitenant_task(task: tuple) -> ExperimentResult:
         workload_factory=lambda rng: MultiTenantWorkload(wl_config, rng),
         seed=seed,
         duration_us=duration_us,
-        warmup_us=min(1_000_000.0, duration_us / 10),
+        warmup_us=opts.get("warmup_us") if opts.get("warmup_us") is not None
+        else min(1_000_000.0, duration_us / 10),
         drain=False,
         mode="closed",
         clients=clients,
         stats_window_us=stats_window_us,
         keep_cluster=keep_cluster,
+        trace=opts.get("trace"),
     )
 
 
@@ -384,32 +437,40 @@ def multitenant_comparison(
     partitioner_factory: Callable[[MultiTenantConfig], Partitioner] | None = None,
     duration_s: float = 8.0,
     clients: int = 800,
-    seed: int = SEED,
-    stats_window_s: float = 0.5,
-    jobs: int | None = None,
-    keep_cluster: bool = False,
+    seed=_UNSET,
+    stats_window_s=_UNSET,
+    jobs=_UNSET,
+    keep_cluster=_UNSET,
 ) -> list[ExperimentResult]:
     """Closed-loop multi-tenant workload (moving hot spot by default).
 
     With ``jobs>1`` a custom ``partitioner_factory`` must be a
     module-level function (it is shipped to the worker processes); the
-    default :func:`perfect_partitioner` is.
+    default :func:`perfect_partitioner` is.  Legacy wrapper: the
+    collapsed kwargs (``seed``, ``stats_window_s``, ``jobs``,
+    ``keep_cluster``) are deprecated here and live on
+    :class:`repro.api.ExperimentSpec` (window in microseconds).
     """
-    _require_serial_for_cluster(jobs, keep_cluster)
-    wl_config = config or MultiTenantConfig(
-        num_nodes=4,
-        tenants_per_node=4,
-        records_per_tenant=2_500,
-        rotation_interval_us=2_500_000.0,
+    from repro.api import ExperimentSpec, run_experiment
+
+    _warn_legacy_kwargs(
+        "multitenant_comparison", seed=seed, stats_window_s=stats_window_s,
+        jobs=jobs, keep_cluster=keep_cluster,
     )
-    duration_us = duration_s * bench_scale() * 1e6
-    make_part = partitioner_factory or perfect_partitioner
-    tasks = [
-        (name, wl_config, make_part, duration_us, clients, seed,
-         stats_window_s * 1e6, keep_cluster)
-        for name in strategies
-    ]
-    return parallel_map(_multitenant_task, tasks, jobs=jobs)
+    return run_experiment(ExperimentSpec(
+        kind="multitenant",
+        strategies=tuple(strategies),
+        duration_s=duration_s,
+        seed=SEED if seed is _UNSET else seed,
+        window_us=None if stats_window_s is _UNSET else stats_window_s * 1e6,
+        jobs=None if jobs is _UNSET else jobs,
+        keep_cluster=False if keep_cluster is _UNSET else keep_cluster,
+        params={
+            "config": config,
+            "partitioner_factory": partitioner_factory,
+            "clients": clients,
+        },
+    ))
 
 
 def scaleout_run(
@@ -421,6 +482,9 @@ def scaleout_run(
     records_per_tenant: int = 2_500,
     seed: int = SEED,
     keep_cluster: bool = False,
+    warmup_us: float | None = None,
+    stats_window_us: float | None = None,
+    trace=None,
 ) -> ExperimentResult:
     """One Figure 14 scale-out scenario.
 
@@ -490,14 +554,16 @@ def scaleout_run(
         workload_factory=lambda rng: MultiTenantWorkload(wl_config, rng),
         seed=seed,
         duration_us=duration_us,
-        warmup_us=min(1_000_000.0, event_us / 2),
+        warmup_us=warmup_us if warmup_us is not None
+        else min(1_000_000.0, event_us / 2),
         drain=False,
         mode="closed",
         clients=clients,
         active_nodes=[0, 1, 2],
         before_run=before_run,
-        stats_window_us=500_000.0,
+        stats_window_us=stats_window_us or 500_000.0,
         keep_cluster=keep_cluster,
+        trace=trace,
     )
     result.extras["event_us"] = event_us
     return result
@@ -512,15 +578,28 @@ def _scaleout_task(task: tuple) -> ExperimentResult:
 def scaleout_comparison(
     variants: Sequence[str],
     *,
-    jobs: int | None = None,
-    keep_cluster: bool = False,
+    jobs=_UNSET,
+    keep_cluster=_UNSET,
     **kwargs,
 ) -> list[ExperimentResult]:
     """Several Figure 14 variants, optionally fanned over processes.
 
-    ``kwargs`` are forwarded to :func:`scaleout_run` unchanged.
+    ``kwargs`` are forwarded to :func:`scaleout_run` unchanged.  Legacy
+    wrapper: ``jobs``/``keep_cluster``/``seed`` are deprecated here and
+    live on :class:`repro.api.ExperimentSpec`.
     """
-    _require_serial_for_cluster(jobs, keep_cluster)
-    kwargs["keep_cluster"] = keep_cluster
-    tasks = [(variant, kwargs) for variant in variants]
-    return parallel_map(_scaleout_task, tasks, jobs=jobs)
+    from repro.api import ExperimentSpec, run_experiment
+
+    _warn_legacy_kwargs(
+        "scaleout_comparison", jobs=jobs, keep_cluster=keep_cluster,
+        seed=kwargs.get("seed", _UNSET),
+    )
+    return run_experiment(ExperimentSpec(
+        kind="scaleout",
+        strategies=tuple(variants),
+        duration_s=kwargs.pop("duration_s", None),
+        seed=kwargs.pop("seed", SEED),
+        jobs=None if jobs is _UNSET else jobs,
+        keep_cluster=False if keep_cluster is _UNSET else keep_cluster,
+        params=kwargs,
+    ))

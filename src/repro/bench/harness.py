@@ -23,6 +23,7 @@ from repro.bench.specs import StrategySpec
 from repro.common.config import ClusterConfig
 from repro.common.rng import DeterministicRNG
 from repro.engine.cluster import Cluster
+from repro.obs.tracer import Tracer
 from repro.sim.stats import TimeSeries
 from repro.storage.partitioning import Partitioner
 from repro.workloads.base import ClosedLoopDriver, OpenLoopDriver
@@ -86,6 +87,7 @@ def run_workload(
     before_run: Callable[[Cluster], None] | None = None,
     validate_plans: bool = False,
     keep_cluster: bool = False,
+    trace: Tracer | None = None,
 ) -> ExperimentResult:
     """Run one strategy on one workload and collect the paper's metrics.
 
@@ -94,6 +96,12 @@ def run_workload(
     ``keys`` is None, that is used to load the database.  ``before_run``
     runs after construction (used to schedule scale-out events etc.).
 
+    ``trace`` opts the run into structured tracing: the
+    :class:`~repro.obs.Tracer` is threaded through the whole engine
+    stack (sequencer, scheduler, locks, executors, migration, faults)
+    and handed back in ``extras["tracer"]``.  ``None`` — the default —
+    keeps every instrumentation site on its zero-cost disabled branch.
+
     ``keep_cluster=True`` retains the live :class:`Cluster` (and any
     attached controller) in ``extras`` for post-run inspection.  It is
     off by default: a cluster pins the whole event heap and every record
@@ -101,6 +109,9 @@ def run_workload(
     parallel sweeps could not ship results between processes at all.
     """
     rng = DeterministicRNG(seed, "experiment", spec.name)
+    if trace is not None:
+        trace.meta.setdefault("strategy", spec.name)
+        trace.meta.setdefault("seed", seed)
     cluster = Cluster(
         cluster_config,
         spec.make_router(),
@@ -109,7 +120,9 @@ def run_workload(
         active_nodes=active_nodes,
         stats_window_us=stats_window_us,
         validate_plans=validate_plans,
+        tracer=trace,
     )
+    cluster.metrics.registry.common_labels["strategy"] = spec.name
     workload = workload_factory(rng.fork("workload"))
 
     if keys is None:
@@ -141,8 +154,10 @@ def run_workload(
         end = cluster.run_until_quiescent(duration_us * 2)
 
     metrics = cluster.metrics
-    pcts = metrics.latency_percentiles((0.5, 0.95, 0.99))
+    pcts = metrics.latency_percentiles_us((0.5, 0.95, 0.99))
     extras: dict = {"submitted": driver.submitted}
+    if trace is not None:
+        extras["tracer"] = trace
     if keep_cluster:
         extras["cluster"] = cluster
         extras["attached"] = attached

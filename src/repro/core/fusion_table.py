@@ -47,14 +47,20 @@ class FusionTable:
         self._entries: OrderedDict[Key, NodeId] = OrderedDict()
         self.evictions_total = 0
         self.inserts_total = 0
+        self.hits_total = 0
+        self.misses_total = 0
 
     # -- KeyOverlay protocol ---------------------------------------------
 
     def get(self, key: Key) -> NodeId | None:
         """Live owner of ``key``; refreshes recency under LRU."""
         node = self._entries.get(key)
-        if node is not None and self.config.eviction == "lru":
-            self._entries.move_to_end(key)
+        if node is not None:
+            self.hits_total += 1
+            if self.config.eviction == "lru":
+                self._entries.move_to_end(key)
+        else:
+            self.misses_total += 1
         return node
 
     def get_bulk(self, keys: Sequence[Key]) -> list[NodeId | None]:
@@ -75,6 +81,9 @@ class FusionTable:
             if node is not None and lru:
                 move(key)
             append(node)
+        misses = out.count(None)
+        self.misses_total += misses
+        self.hits_total += len(out) - misses
         return out
 
     def put(self, key: Key, node: NodeId) -> list[tuple[Key, NodeId]]:
@@ -139,3 +148,18 @@ class FusionTable:
     def snapshot(self) -> dict[Key, NodeId]:
         """A copy of the current entries, for tests and checkpoints."""
         return dict(self._entries)
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Cumulative lookup/update counters plus the current size.
+
+        The cluster samples this per delivered batch when tracing, which
+        is what the Perfetto fusion-table counter track and the
+        per-strategy hit-ratio metrics are built from.
+        """
+        return {
+            "size": len(self._entries),
+            "hits": self.hits_total,
+            "misses": self.misses_total,
+            "inserts": self.inserts_total,
+            "evictions": self.evictions_total,
+        }

@@ -91,6 +91,10 @@ class PrescientRouter(Router):
 
     def __init__(self, config: RoutingConfig | None = None) -> None:
         self.config = config if config is not None else RoutingConfig()
+        # Run-level planning counters, sampled by the tracing layer.
+        self.batches_routed = 0
+        self.txns_routed = 0
+        self.moves_planned = 0
 
     # ------------------------------------------------------------------
     # Router interface
@@ -114,7 +118,18 @@ class PrescientRouter(Router):
         # requests still conflict with *later* batches touching the chunk.
         for txn in migration_txns:
             plan.plans.append(build_chunk_migration_plan(txn, view))
+        self.batches_routed += 1
+        self.txns_routed += len(user_txns)
+        self.moves_planned += sum(len(p.migrations) for p in plan.plans)
         return plan
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Cumulative planning counters (per-batch trace samples)."""
+        return {
+            "batches": self.batches_routed,
+            "txns": self.txns_routed,
+            "moves_planned": self.moves_planned,
+        }
 
     # ------------------------------------------------------------------
     # Steps 1-3 of Algorithm 1 (search phase; touches only scratch state)

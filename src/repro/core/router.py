@@ -84,6 +84,8 @@ class OwnershipView:
         self.overlay = overlay if overlay is not None else DictOverlay()
         self._home_cache: dict[Key, NodeId] = {}
         self._home_version = getattr(static, "version", 0)
+        #: ownership changes registered over the run (observability).
+        self.moves_recorded = 0
 
     def _homes(self) -> dict[Key, NodeId]:
         """The home cache, invalidated if the partitioner changed."""
@@ -144,6 +146,7 @@ class OwnershipView:
         instead of stored — keeping the overlay to genuinely displaced
         records only.  Returns any evictions the overlay performed.
         """
+        self.moves_recorded += 1
         if self.home(key) == dst:
             self.overlay.remove(key)
             return []

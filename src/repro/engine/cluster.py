@@ -18,7 +18,7 @@ states — ``tests/integration/test_determinism.py`` asserts exactly that.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError, SimulationError
@@ -35,6 +35,9 @@ from repro.storage.partitioning import Partitioner
 from repro.storage.store import state_fingerprint
 from repro.storage.wal import Checkpoint, CommandLog
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+
 
 class Cluster:
     """A complete simulated deployment of one routing strategy."""
@@ -49,13 +52,19 @@ class Cluster:
         stats_window_us: float = 1_000_000.0,
         keep_command_log: bool = False,
         validate_plans: bool = False,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.config = config
         self.router = router
         self.kernel = Kernel()
         self.network = Network(self.kernel, config.costs)
         self.metrics = ClusterMetrics(stats_window_us)
-        self.lock_manager = LockManager()
+        #: optional structured tracer (see :mod:`repro.obs`); ``None``
+        #: keeps every instrumentation site on its zero-cost branch.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self.kernel)
+        self.lock_manager = LockManager(tracer=tracer)
         self.nodes: list[Node] = [
             Node(self.kernel, node_id, config, stats_window_us)
             for node_id in range(config.num_nodes)
@@ -71,7 +80,8 @@ class Cluster:
                 raise ConfigurationError(f"active node {node} out of range")
         self.view = ClusterView(actives, self.ownership)
         self.sequencer = Sequencer(
-            self.kernel, config.engine, config.costs, self._on_batch
+            self.kernel, config.engine, config.costs, self._on_batch,
+            tracer=tracer,
         )
         self.command_log = CommandLog() if keep_command_log else None
         self.validate_plans = validate_plans
@@ -162,6 +172,23 @@ class Cluster:
         self._scheduler_free_at = done
         self.kernel.call_later(done - self.kernel.now, self._dispatch,
                                plan, t_sequenced)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.route_batch(batch.epoch, len(batch), start, routing_cost)
+            stats = getattr(self.ownership.overlay, "stats_snapshot", None)
+            if stats is not None:
+                tracer.fusion_sample(
+                    batch.epoch, moves=self.ownership.moves_recorded,
+                    **stats(),
+                )
+            router_stats = getattr(self.router, "stats_snapshot", None)
+            if router_stats is not None:
+                tracer.counter("route", "router_stats", **router_stats())
+            for node_id in self.view.active_nodes:
+                tracer.node_load(
+                    batch.epoch, node_id,
+                    **self.nodes[node_id].load_snapshot(),
+                )
 
     def inject_batch(self, batch: Batch) -> None:
         """Feed a pre-ordered batch directly (replay path, bypassing the
@@ -217,8 +244,16 @@ class Cluster:
 
     def _dispatch(self, plan, t_sequenced: float) -> None:
         now = self.kernel.now
+        tracer = self.tracer
         for txn_plan in plan:
             self._next_seq += 1
+            if tracer is not None:
+                txn = txn_plan.txn
+                tracer.txn_dispatched(
+                    self._next_seq, txn.txn_id, txn.kind.name,
+                    txn_plan.coordinator, tuple(sorted(txn_plan.masters)),
+                    txn.size,
+                )
             runtime = TxnRuntime(
                 cluster=self,
                 plan=txn_plan,

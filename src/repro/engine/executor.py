@@ -208,10 +208,14 @@ class TxnRuntime:
         keys = group.keys
         costs = cluster.config.costs
         cpu = costs.local_access_us * len(keys)
+        t_serve_start = cluster.kernel.now
         done = cluster.kernel.event(f"served:{self.txn.txn_id}@{loc}")
         cluster.nodes[loc].workers.submit(cpu, lambda: done.trigger())
         yield done
 
+        tracer = cluster.tracer
+        if tracer is not None:
+            tracer.serve(self.txn.txn_id, loc, t_serve_start, len(keys))
         self._serve_done[loc] = cluster.kernel.now
         if loc == self.coordinator:
             self.t_serve_done = cluster.kernel.now
@@ -251,6 +255,10 @@ class TxnRuntime:
                 describe=f"remote read txn {self.txn.txn_id}",
             )
             cluster.metrics.remote_reads += len(keys)
+            if tracer is not None:
+                tracer.remote_read(
+                    self.txn.txn_id, loc, master, len(keys), payload
+                )
 
         # The master's own serve completion also feeds its data-ready gate.
         if loc in self.plan.masters:
@@ -335,12 +343,19 @@ class TxnRuntime:
         if txn.aborts:
             apply_cpu += costs.local_access_us * len(local_writes)
 
+        t_exec_start = cluster.kernel.now
         done = cluster.kernel.event(f"executed:{txn.txn_id}@{master}")
         cluster.nodes[master].workers.submit(
             logic_cpu + apply_cpu, lambda: done.trigger()
         )
         yield done
 
+        tracer = cluster.tracer
+        if tracer is not None:
+            tracer.execute(
+                txn.txn_id, master, t_exec_start,
+                logic_cpu, apply_cpu, len(incoming),
+            )
         node = cluster.nodes[master]
         for record in incoming:
             node.store.install(record)
@@ -415,6 +430,12 @@ class TxnRuntime:
             cluster.nodes[self.coordinator].commits += 1
             if not self.txn.is_system():
                 cluster.metrics.note_commit(self)
+        tracer = cluster.tracer
+        if tracer is not None:
+            tracer.commit(
+                self.txn.txn_id, self.coordinator, self.aborted,
+                stages=self.latency_stages() if self.committed else None,
+            )
         self.commit_event.trigger(self)
         self._start_writebacks()
         self._start_evictions()
@@ -442,6 +463,12 @@ class TxnRuntime:
                 describe=f"writeback txn {self.txn.txn_id}",
             )
             cluster.metrics.writebacks += len(moves)
+            tracer = cluster.tracer
+            if tracer is not None:
+                tracer.data_move(
+                    "writeback_send", self.txn.txn_id,
+                    self.coordinator, dst, len(moves),
+                )
 
     def _make_writeback_install(self, dst: NodeId, records: list[Record]):
         def arrived() -> None:
@@ -453,6 +480,12 @@ class TxnRuntime:
                 for record in records:
                     node.store.install(record)
                 node.records_migrated_in += len(records)
+                tracer = cluster.tracer
+                if tracer is not None:
+                    tracer.data_move(
+                        "writeback_install", self.txn.txn_id,
+                        dst, dst, len(records),
+                    )
                 self._release_stage_keys(
                     dst,
                     frozenset(r.key for r in records),
@@ -495,6 +528,12 @@ class TxnRuntime:
                     for record in records:
                         node.store.install(record)
                     node.records_migrated_in += len(records)
+                    tracer = cluster.tracer
+                    if tracer is not None:
+                        tracer.data_move(
+                            "eviction_install", self.txn.txn_id,
+                            dst, dst, len(records),
+                        )
                     self._release_stage_keys(
                         dst,
                         frozenset(r.key for r in records),
@@ -512,6 +551,11 @@ class TxnRuntime:
                 describe=f"eviction txn {self.txn.txn_id}",
             )
             cluster.metrics.evictions += len(moves)
+            tracer = cluster.tracer
+            if tracer is not None:
+                tracer.data_move(
+                    "eviction_send", self.txn.txn_id, src, dst, len(moves)
+                )
 
         cluster.nodes[src].workers.submit(
             costs.local_access_us * len(moves), read_done

@@ -25,10 +25,17 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.errors import SimulationError
 from repro.common.types import Key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+
+#: Max blocker seqs recorded per traced wait.  Wide shared coalitions
+#: are summarized by the holder count instead of an unbounded list.
+_MAX_BLOCKERS = 8
 
 
 class LockMode(enum.Enum):
@@ -39,7 +46,9 @@ class LockMode(enum.Enum):
 
 
 class _Request:
-    __slots__ = ("seq", "mode", "on_granted")
+    __slots__ = (
+        "seq", "mode", "on_granted", "wait_from", "blockers", "holders_seen"
+    )
 
     def __init__(
         self, seq: int, mode: LockMode, on_granted: Callable[[], None]
@@ -47,6 +56,13 @@ class _Request:
         self.seq = seq
         self.mode = mode
         self.on_granted = on_granted
+        # Tracing-only fields, populated when a tracer is attached and
+        # the request actually waits: enqueue timestamp, the seqs it was
+        # directly behind (current holders and the waiter ahead, capped
+        # at ``_MAX_BLOCKERS``), and the uncapped holder count.
+        self.wait_from: float | None = None
+        self.blockers: list[int] | None = None
+        self.holders_seen = 0
 
 
 class _KeyQueue:
@@ -65,10 +81,11 @@ class _KeyQueue:
 class LockManager:
     """Per-key FIFO queues with S/X modes and in-order grants."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: "Tracer | None" = None) -> None:
         self._queues: dict[Key, _KeyQueue] = {}
         self.grants_total = 0
         self.waits_total = 0
+        self.tracer = tracer
 
     def enqueue(
         self,
@@ -98,8 +115,20 @@ class LockManager:
         queue.last_enqueued = seq
         request = _Request(seq, mode, on_granted)
         if not queue.waiting and self._compatible(queue, mode):
-            self._grant(queue, request)
+            self._grant(queue, request, key)
         else:
+            tracer = self.tracer
+            if tracer is not None:
+                # Record who this request is directly behind *now*; the
+                # wait span itself is emitted at grant time.  Blockers
+                # always carry smaller seqs (in-order enqueue), which is
+                # what keeps reconstructed wait chains acyclic.
+                request.wait_from = tracer.now()
+                blockers = sorted(queue.holders)[:_MAX_BLOCKERS]
+                if queue.waiting and len(blockers) < _MAX_BLOCKERS:
+                    blockers.append(queue.waiting[-1].seq)
+                request.blockers = blockers
+                request.holders_seen = len(queue.holders)
             queue.waiting.append(request)
             self.waits_total += 1
 
@@ -116,7 +145,7 @@ class LockManager:
         if mode is LockMode.X:
             queue.exclusive_holders -= 1
         while queue.waiting and self._compatible(queue, queue.waiting[0].mode):
-            self._grant(queue, queue.waiting.popleft())
+            self._grant(queue, queue.waiting.popleft(), key)
         if queue.empty():
             del self._queues[key]
 
@@ -126,11 +155,22 @@ class LockManager:
             return not queue.holders
         return queue.exclusive_holders == 0
 
-    def _grant(self, queue: _KeyQueue, request: _Request) -> None:
+    def _grant(self, queue: _KeyQueue, request: _Request, key: Key) -> None:
         queue.holders[request.seq] = request.mode
         if request.mode is LockMode.X:
             queue.exclusive_holders += 1
         self.grants_total += 1
+        if request.wait_from is not None:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.lock_wait(
+                    key,
+                    request.seq,
+                    request.mode.value,
+                    request.blockers or [],
+                    request.holders_seen,
+                    request.wait_from,
+                )
         request.on_granted()
 
     # -- introspection (tests, invariant checks) ---------------------------

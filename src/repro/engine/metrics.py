@@ -5,39 +5,89 @@ figures need: committed transactions per window (throughput curves),
 latency breakdowns (Figure 7), remote-read / migration / write-back
 counters, and — via the nodes' worker pools and the network — CPU and
 network usage (Figure 8).
+
+Since the observability rework, the scalar state lives in a typed
+:class:`~repro.obs.registry.MetricsRegistry` (``self.registry``): run
+counters are registry :class:`~repro.obs.registry.Counter` instruments
+and client latencies a :class:`~repro.obs.registry.Histogram`.  The
+public accessors below are thin facades over those instruments, kept so
+every existing call site — including ``metrics.remote_reads += n``
+writers in the executor — works unchanged, while ``registry.snapshot()``
+exposes the same numbers uniformly (with labels) to reporting and
+tracing code.
+
+Accessor naming: time-valued accessors carry a ``_us`` suffix
+(``mean_latency_us``, ``latency_percentile_us``, ...).  The unsuffixed
+``latency_percentile``/``latency_percentiles`` spellings predate the
+convention and remain as deprecated aliases.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.sim.stats import (
-    LatencyBreakdown,
-    TimeSeries,
-    WindowedRate,
-    percentiles,
-)
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.sim.stats import LatencyBreakdown, TimeSeries, WindowedRate
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executor import TxnRuntime
 
 
+def _counter_facade(attr: str) -> property:
+    """An int-valued property reading/raising one registry counter.
+
+    The setter accepts the value ``metrics.x += n`` produces (the new
+    absolute total) and forwards it via
+    :meth:`~repro.obs.registry.Counter.set_total`, so increment-style
+    call sites keep working while the counter itself stays monotonic.
+    """
+
+    def fget(self: "ClusterMetrics") -> int:
+        counter: Counter = getattr(self, attr)
+        return int(counter.value)
+
+    def fset(self: "ClusterMetrics", total: float) -> None:
+        counter: Counter = getattr(self, attr)
+        counter.set_total(total)
+
+    return property(fget, fset)
+
+
 class ClusterMetrics:
     """Counters and series for one simulation run."""
 
-    def __init__(self, window_us: float) -> None:
+    def __init__(
+        self, window_us: float, registry: MetricsRegistry | None = None
+    ) -> None:
         self.window_us = window_us
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.commit_rate = WindowedRate("commits", window_us)
         self.latency = LatencyBreakdown()
-        self.total_latency_sum = 0.0
-        self._latencies: list[float] = []
-        self.commits = 0
-        self.aborts = 0
-        self.remote_reads = 0
-        self.writebacks = 0
-        self.evictions = 0
-        self.batches = 0
         self.warmup_until = 0.0
+        reg = self.registry
+        self._commits = reg.counter("txn_commits_total")
+        self._aborts = reg.counter("txn_aborts_total")
+        self._remote_reads = reg.counter("remote_reads_total")
+        self._writebacks = reg.counter("writebacks_total")
+        self._evictions = reg.counter("evictions_total")
+        self._batches = reg.counter("batches_total")
+        self._latency_hist: Histogram = reg.histogram("txn_latency_us")
+
+    # -- scalar facades over the registry ------------------------------
+
+    commits = _counter_facade("_commits")
+    aborts = _counter_facade("_aborts")
+    remote_reads = _counter_facade("_remote_reads")
+    writebacks = _counter_facade("_writebacks")
+    evictions = _counter_facade("_evictions")
+    batches = _counter_facade("_batches")
+
+    @property
+    def total_latency_sum(self) -> float:
+        """Summed client-perceived latency over post-warm-up commits."""
+        return self._latency_hist.sum
+
+    # -- recording ------------------------------------------------------
 
     def note_commit(self, runtime: "TxnRuntime") -> None:
         """Record one committed user transaction."""
@@ -45,39 +95,58 @@ class ClusterMetrics:
         assert now is not None
         self.commit_rate.record(now)
         if now >= self.warmup_until:
-            self.commits += 1
+            self._commits.inc()
             self.latency.record(runtime.latency_stages())
-            total = runtime.total_latency()
-            self.total_latency_sum += total
-            self._latencies.append(total)
+            self._latency_hist.observe(runtime.total_latency())
+
+    # -- aggregates ------------------------------------------------------
 
     def mean_latency_us(self) -> float:
         """Mean client-perceived latency over post-warm-up commits."""
-        if self.commits == 0:
-            return 0.0
-        return self.total_latency_sum / self.commits
+        return self._latency_hist.mean()
 
     def throughput_series(self, until: float) -> TimeSeries:
         """Committed transactions per window (the paper's y-axis)."""
         return self.commit_rate.series(until)
 
     def throughput_per_second(self, until: float) -> float:
-        """Mean commits per simulated second after warm-up."""
-        span_us = until - self.warmup_until
-        if span_us <= 0:
+        """Mean commits per simulated second after warm-up.
+
+        ``until`` at or before ``warmup_until`` is explicitly zero
+        commits over zero span — every counted commit happens after
+        warm-up, so there is nothing to rate yet (rather than leaving a
+        negative span to a ``<= 0`` guard).
+        """
+        if until <= self.warmup_until:
             return 0.0
+        span_us = until - self.warmup_until
         return self.commits / (span_us / 1e6)
 
-    def latency_percentile(self, quantile: float) -> float:
+    def latency_percentile_us(self, quantile: float) -> float:
         """Client-perceived latency percentile in microseconds.
 
         Nearest-rank method over post-warm-up commits: the value at rank
         ``ceil(q·n)``.  Returns 0.0 before any commit is recorded.
         """
-        return self.latency_percentiles((quantile,))[quantile]
+        return self.latency_percentiles_us((quantile,))[quantile]
+
+    def latency_percentiles_us(
+        self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[float, float]:
+        """Several nearest-rank percentiles at once (sorted once).
+
+        Returns a plain dict keyed by the quantile floats passed in.
+        """
+        return self._latency_hist.percentiles(quantiles)
+
+    # -- deprecated aliases (pre-`_us` naming) ---------------------------
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Deprecated alias for :meth:`latency_percentile_us`."""
+        return self.latency_percentile_us(quantile)
 
     def latency_percentiles(
         self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
     ) -> dict[float, float]:
-        """Several nearest-rank percentiles at once (sorted once)."""
-        return percentiles(self._latencies, quantiles)
+        """Deprecated alias for :meth:`latency_percentiles_us`."""
+        return self.latency_percentiles_us(quantiles)

@@ -43,6 +43,13 @@ class MigrationController:
         self.active = True
         self._cancelled = False
         self._on_complete = on_complete
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.migration(
+                "migration_start",
+                chunks=len(plan.chunks),
+                records=sum(len(c.keys) for c in plan.chunks),
+            )
         self._submit_next(list(plan.chunks))
 
     def cancel(self) -> list[ChunkMigration]:
@@ -56,6 +63,9 @@ class MigrationController:
         self._cancelled = True
         self.active = False
         remaining, self._remaining = self._remaining, []
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.migration("migration_cancelled", unsubmitted=len(remaining))
         return remaining
 
     @property
@@ -66,8 +76,13 @@ class MigrationController:
     def _submit_next(self, remaining: list[ChunkMigration]) -> None:
         if self._cancelled:
             return
+        tracer = self.cluster.tracer
         if not remaining:
             self.active = False
+            if tracer is not None:
+                tracer.migration(
+                    "migration_complete", chunks=self.chunks_committed
+                )
             if self._on_complete is not None:
                 self._on_complete()
             return
@@ -83,9 +98,19 @@ class MigrationController:
             payload=chunk,
         )
         self.chunks_submitted += 1
+        if tracer is not None:
+            tracer.migration(
+                "chunk_submit", txn=txn.txn_id,
+                chunk=self.chunks_submitted, records=len(chunk.keys),
+            )
 
         def chunk_done(_runtime) -> None:
             self.chunks_committed += 1
+            if tracer is not None:
+                tracer.migration(
+                    "chunk_commit", txn=txn.txn_id,
+                    chunk=self.chunks_committed, remaining=len(rest),
+                )
             gap = self.cluster.config.engine.migration_chunk_gap_us
             self.cluster.kernel.call_later(gap, self._submit_next, rest)
 

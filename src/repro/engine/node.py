@@ -137,6 +137,15 @@ class Node:
         self.records_migrated_in = 0
         self.records_migrated_out = 0
 
+    def load_snapshot(self) -> dict[str, float]:
+        """Point-in-time load numbers, sampled per batch when tracing."""
+        return {
+            "queued": self.workers.queued(),
+            "records": len(self.store),
+            "busy_us": self.workers.busy_us_total,
+            "commits": self.commits,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Node({self.node_id}, records={len(self.store)}, "

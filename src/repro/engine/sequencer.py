@@ -13,12 +13,15 @@ Section 3.3 requires.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.config import CostModel, EngineConfig
 from repro.common.errors import SimulationError
 from repro.common.types import Batch, Transaction
 from repro.sim.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 class Sequencer:
@@ -30,11 +33,13 @@ class Sequencer:
         engine_config: EngineConfig,
         costs: CostModel,
         deliver: Callable[[Batch], None],
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.kernel = kernel
         self.config = engine_config
         self.costs = costs
         self.deliver = deliver
+        self.tracer = tracer
         self._pending: list[Transaction] = []
         self._priority: list[Transaction] = []
         self._in_flight: list[tuple[float, Batch]] = []
@@ -116,6 +121,9 @@ class Sequencer:
             self.kernel.call_later(
                 self.costs.sequencer_latency_us, self._deliver_ordered, batch
             )
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.batch_cut(self._epoch, len(txns), self.backlog)
         self.kernel.call_later(self.config.epoch_us, self._cut_batch)
 
     def _deliver_ordered(self, batch: Batch) -> None:
@@ -125,4 +133,7 @@ class Sequencer:
         self._in_flight = [
             (t, b) for t, b in self._in_flight if b is not batch
         ]
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.batch_delivered(batch.epoch, len(batch))
         self.deliver(batch)

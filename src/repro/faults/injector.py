@@ -92,6 +92,9 @@ class FaultInjector:
 
     def _activate(self, event: ScheduledFault) -> None:
         self.activations += 1
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.fault("fault_on", event)
         network = self.cluster.network
         if isinstance(event, PartitionFault):
             network.block_links(event.severed_links())
@@ -112,6 +115,9 @@ class FaultInjector:
 
     def _deactivate(self, event: ScheduledFault) -> None:
         self.deactivations += 1
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.fault("fault_off", event)
         network = self.cluster.network
         if isinstance(event, PartitionFault):
             network.unblock_links(event.severed_links())

@@ -1,0 +1,55 @@
+"""Observability: structured tracing, metrics registry, trace analysis.
+
+Stable public surface — import metric/trace types from here, not from
+the submodules::
+
+    from repro.obs import Tracer, MetricsRegistry
+
+    tracer = Tracer(preset="fig07", seed=1)
+    result = run_workload(..., trace=tracer)
+    tracer.write_jsonl("run.trace.jsonl")
+    tracer.write_chrome_trace("run.trace.json")   # open in Perfetto
+
+``python -m repro.obs record --preset fig07`` records and summarizes a
+traced run from the command line; see :mod:`repro.obs.__main__`.
+"""
+
+from repro.obs.analyze import (
+    WaitChain,
+    event_counts,
+    format_node_load,
+    format_stage_flame,
+    format_wait_chains,
+    lock_wait_chains,
+    node_load_series,
+    seq_txn_map,
+    stage_totals,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+)
+from repro.obs.tracer import CATEGORIES, Tracer, read_jsonl
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "MetricsRegistry",
+    "Tracer",
+    "WaitChain",
+    "event_counts",
+    "format_node_load",
+    "format_stage_flame",
+    "format_wait_chains",
+    "lock_wait_chains",
+    "node_load_series",
+    "read_jsonl",
+    "seq_txn_map",
+    "stage_totals",
+]

@@ -1,0 +1,214 @@
+"""Trace analysis: lock-wait chains, node load timelines, stage flames.
+
+These run on the event list a :class:`~repro.obs.tracer.Tracer` collects
+(or a JSONL trace re-read via :func:`~repro.obs.tracer.read_jsonl`) and
+back the ``python -m repro.obs`` report output.  Everything here is pure
+post-processing — nothing feeds back into the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: stage keys in display order, mirroring
+#: :data:`repro.sim.stats.LATENCY_STAGES`.
+STAGE_ORDER = ("scheduling", "lock_wait", "local_storage", "remote_wait", "other")
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+# -- seq → txn join ------------------------------------------------------
+
+
+def seq_txn_map(events: list[dict]) -> dict[int, int]:
+    """Map scheduler sequence numbers to transaction ids.
+
+    The join comes from the per-transaction ``route``/``txn`` metadata
+    events the cluster emits at dispatch; lock events only know seqs.
+    """
+    out: dict[int, int] = {}
+    for event in events:
+        if event["cat"] == "route" and event["name"] == "txn":
+            args = event["args"]
+            out[args["txn_seq"]] = args["txn"]
+    return out
+
+
+# -- lock-wait chains ----------------------------------------------------
+
+
+@dataclass
+class WaitChain:
+    """One transitive blocking chain, head-first (longest waiter first)."""
+
+    key: str
+    mode: str
+    wait_us: float          # the head waiter's own wait
+    chain_us: float         # total wait along the chain
+    seqs: list[int] = field(default_factory=list)
+    txns: list[int] = field(default_factory=list)
+
+
+def lock_wait_chains(events: list[dict], top: int = 10) -> list[WaitChain]:
+    """The ``top`` longest lock waits, each expanded into its chain.
+
+    For every ``lock_wait`` span we recorded the seqs the request was
+    directly behind at enqueue time.  Blockers always carry smaller
+    seqs than their waiters (the lock manager grants in sequence
+    order), so following the *worst-waiting* blocker repeatedly walks an
+    acyclic chain back to a transaction that never waited.
+    """
+    waits: dict[int, dict] = {}
+    for event in events:
+        if event["cat"] == "lock" and event["name"] == "lock_wait":
+            args = event["args"]
+            seq = args["txn_seq"]
+            prior = waits.get(seq)
+            # A txn can wait on several keys; keep its longest wait.
+            if prior is None or event["dur"] > prior["dur"]:
+                waits[seq] = {
+                    "dur": event["dur"],
+                    "key": args["key"],
+                    "mode": args["mode"],
+                    "blockers": args["blockers"],
+                }
+    txn_of = seq_txn_map(events)
+    heads = sorted(
+        waits.items(), key=lambda kv: (-kv[1]["dur"], kv[0])
+    )[:top]
+    chains: list[WaitChain] = []
+    for seq, info in heads:
+        seqs = [seq]
+        total = info["dur"]
+        cursor = info
+        while True:
+            blockers = [b for b in cursor["blockers"] if b in waits]
+            if not blockers:
+                # Terminate at the first blocker that never waited, if
+                # any — it is the chain's root holder.
+                roots = [b for b in cursor["blockers"] if b not in seqs]
+                if roots:
+                    seqs.append(min(roots))
+                break
+            nxt = max(blockers, key=lambda b: (waits[b]["dur"], -b))
+            if nxt in seqs:  # defensive; seqs strictly decrease
+                break
+            seqs.append(nxt)
+            cursor = waits[nxt]
+            total += cursor["dur"]
+        chains.append(WaitChain(
+            key=info["key"],
+            mode=info["mode"],
+            wait_us=info["dur"],
+            chain_us=total,
+            seqs=seqs,
+            txns=[txn_of.get(s, -1) for s in seqs],
+        ))
+    return chains
+
+
+def format_wait_chains(chains: list[WaitChain]) -> str:
+    if not chains:
+        return "no lock waits recorded"
+    lines = ["top lock-wait chains (head waiter first):"]
+    for rank, chain in enumerate(chains, 1):
+        path = " <- ".join(
+            f"txn{t}" if t >= 0 else f"seq{s}"
+            for t, s in zip(chain.txns, chain.seqs)
+        )
+        lines.append(
+            f"  {rank:>2}. {chain.wait_us:>10.1f}us wait "
+            f"(chain {chain.chain_us:>10.1f}us, depth {len(chain.seqs)}) "
+            f"{chain.mode} {chain.key}: {path}"
+        )
+    return "\n".join(lines)
+
+
+# -- per-node load timelines ---------------------------------------------
+
+
+def node_load_series(events: list[dict]) -> dict[int, list[tuple[float, float]]]:
+    """Per-node (ts, queued-work) samples from the ``load`` counters."""
+    series: dict[int, list[tuple[float, float]]] = {}
+    for event in events:
+        if event["cat"] == "load" and event["name"] == "node_load":
+            series.setdefault(event["node"], []).append(
+                (event["ts"], float(event["args"]["queued"]))
+            )
+    return series
+
+
+def format_node_load(
+    events: list[dict], width: int = 60
+) -> str:
+    """ASCII per-node load timeline (max queued work per time bucket)."""
+    series = node_load_series(events)
+    if not series:
+        return "no node-load samples recorded"
+    t_min = min(ts for samples in series.values() for ts, _ in samples)
+    t_max = max(ts for samples in series.values() for ts, _ in samples)
+    span = max(t_max - t_min, 1.0)
+    peak = max(v for samples in series.values() for _, v in samples)
+    lines = [
+        f"per-node queued work, {t_min:,.0f}us .. {t_max:,.0f}us "
+        f"(peak {peak:,.0f}):"
+    ]
+    for node in sorted(series):
+        buckets = [0.0] * width
+        for ts, value in series[node]:
+            i = min(width - 1, int((ts - t_min) / span * width))
+            buckets[i] = max(buckets[i], value)
+        bar = "".join(
+            _BLOCKS[min(len(_BLOCKS) - 1,
+                        int(v / peak * (len(_BLOCKS) - 1) + 0.999))]
+            if peak else _BLOCKS[0]
+            for v in buckets
+        )
+        lines.append(f"  node {node:>2} |{bar}|")
+    return "\n".join(lines)
+
+
+# -- per-stage latency flame ---------------------------------------------
+
+
+def stage_totals(events: list[dict]) -> tuple[dict[str, float], int]:
+    """Summed per-stage latency across commits; returns (totals, commits)."""
+    totals = {stage: 0.0 for stage in STAGE_ORDER}
+    commits = 0
+    for event in events:
+        if event["cat"] == "exec" and event["name"] == "commit":
+            commits += 1
+            args = event["args"]
+            for stage in STAGE_ORDER:
+                totals[stage] += args.get(stage, 0.0)
+    return totals, commits
+
+
+def format_stage_flame(events: list[dict], width: int = 50) -> str:
+    """A one-level flame: where committed transactions spent their time."""
+    totals, commits = stage_totals(events)
+    grand = sum(totals.values())
+    if not commits or grand <= 0:
+        return "no committed transactions with stage latencies recorded"
+    lines = [f"latency flame across {commits} commits "
+             f"(total {grand:,.0f}us):"]
+    for stage in STAGE_ORDER:
+        share = totals[stage] / grand
+        bar = "#" * max(1 if totals[stage] > 0 else 0,
+                        int(share * width + 0.5))
+        lines.append(
+            f"  {stage:<14} {totals[stage] / commits:>10.1f}us/txn "
+            f"{share:>6.1%} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+# -- summary counts ------------------------------------------------------
+
+
+def event_counts(events: list[dict]) -> dict[str, int]:
+    """Events per category, deterministic order."""
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event["cat"]] = counts.get(event["cat"], 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,64 @@
+"""Session-level tracer registration for artifact capture.
+
+Every :class:`~repro.obs.tracer.Tracer` registers itself here (weakly)
+when constructed.  The pytest plugin in ``tests/conftest.py`` drains the
+registry after each test and, when the test failed and
+``REPRO_TRACE_ARTIFACTS`` points at a directory, dumps each live
+tracer's JSONL there so CI can upload it as a workflow artifact.
+
+This is deliberately *not* a global "current tracer" — the engine never
+reads this registry; it only exists so diagnostics can find traces that
+a failing test would otherwise drop on the floor.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import weakref
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+
+#: environment variable naming the directory failing-test traces go to.
+ARTIFACT_ENV = "REPRO_TRACE_ARTIFACTS"
+
+_live: "weakref.WeakSet[Tracer]" = weakref.WeakSet()
+
+
+def register(tracer: "Tracer") -> None:
+    """Record a tracer for later artifact capture (weak; auto-expires)."""
+    _live.add(tracer)
+
+
+def live_tracers() -> "Iterator[Tracer]":
+    """Tracers constructed since the last :func:`drain` and still alive."""
+    return iter(list(_live))
+
+
+def drain() -> None:
+    """Forget every registered tracer (called between tests)."""
+    _live.clear()
+
+
+def dump_artifacts(label: str) -> list[str]:
+    """Write every live tracer's JSONL under ``$REPRO_TRACE_ARTIFACTS``.
+
+    ``label`` (e.g. a pytest node id) is sanitized into the filename.
+    Returns the paths written; no-op (empty list) when the env var is
+    unset or no tracer recorded any events.
+    """
+    root = os.environ.get(ARTIFACT_ENV)
+    if not root:
+        return []
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", label).strip("_") or "trace"
+    os.makedirs(root, exist_ok=True)
+    written: list[str] = []
+    for i, tracer in enumerate(live_tracers()):
+        if not tracer.events:
+            continue
+        path = os.path.join(root, f"{safe}.{i}.trace.jsonl")
+        tracer.write_jsonl(path)
+        written.append(path)
+    return written

@@ -27,20 +27,36 @@ import json
 import sys
 from pathlib import Path
 
-from repro.perf.measure import BenchResult, measure
+from repro.perf.measure import BenchResult, measure, measure_interleaved
 from repro.perf.scenarios import SCENARIOS
 
 #: Benches whose events/s participates in the regression gate.  The
 #: calibration loop is the normalizer, not a gated metric.
 GATED = tuple(name for name in SCENARIOS if name != "calibration")
 
+#: Maximum fraction of the same run's ``kernel_e2e`` score that the
+#: disabled-tracer guard discipline (``tracer_overhead``) may cost.
+#: Compared within one run, so machine speed cancels exactly.
+TRACER_OVERHEAD_LIMIT = 0.03
+
+#: These two scenarios are measured interleaved (round-robin) whenever
+#: both run: the gate compares their *ratio*, which back-to-back
+#: measurements would contaminate with window-to-window CPU jitter.
+PAIRED = ("kernel_e2e", "tracer_overhead")
+
 
 def run_suite(
     names: list[str], scale: float, repeats: int, profile: bool
 ) -> dict[str, BenchResult]:
     results: dict[str, BenchResult] = {}
+    paired: dict[str, BenchResult] = {}
+    if not profile and all(name in names for name in PAIRED):
+        paired = measure_interleaved(
+            {n: (lambda n=n: SCENARIOS[n](scale)) for n in PAIRED},
+            repeats=max(repeats, 4),
+        )
     for name in names:
-        result = measure(
+        result = paired.get(name) or measure(
             name, lambda n=name: SCENARIOS[n](scale),
             repeats=repeats, profile=profile,
         )
@@ -85,7 +101,25 @@ def compare(
                 f"{floor:.3f} (baseline {base_norm[name]:.3f} "
                 f"- {tolerance:.0%} tolerance)"
             )
+    problems.extend(check_tracer_overhead(current))
     return problems
+
+
+def check_tracer_overhead(current: dict[str, dict]) -> list[str]:
+    """The disabled-tracer bound: ``tracer_overhead`` within 3 % of the
+    same run's ``kernel_e2e``.  No-op unless both scenarios ran."""
+    kernel = current.get("kernel_e2e", {}).get("events_per_s", 0.0)
+    guarded = current.get("tracer_overhead", {}).get("events_per_s", 0.0)
+    if not kernel or not guarded:
+        return []
+    floor = kernel * (1.0 - TRACER_OVERHEAD_LIMIT)
+    if guarded < floor:
+        return [
+            f"tracer_overhead: disabled-tracer score {guarded:,.0f} ev/s "
+            f"is more than {TRACER_OVERHEAD_LIMIT:.0%} below this run's "
+            f"kernel_e2e ({kernel:,.0f} ev/s)"
+        ]
+    return []
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -279,6 +279,16 @@ class Kernel:
         """Create a fresh one-shot event bound to this kernel."""
         return SimEvent(self, name=name)
 
+    def timestamp(self) -> float:
+        """The current simulated time, in microseconds.
+
+        The observability layer's clock source: a bound
+        :class:`repro.obs.Tracer` stamps every span and event through
+        this hook, so traces share the exact timeline the engine ran on.
+        Reading the clock never perturbs the event queues.
+        """
+        return self.now
+
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start a generator as a simulated process."""
         return Process(self, gen, name=name)

@@ -1,0 +1,86 @@
+"""The unified experiment facade (repro.api)."""
+
+import pytest
+
+from repro.api import ExperimentSpec, PRESETS, preset_spec, run_experiment
+from repro.bench.figures import tpcc_comparison
+from repro.obs import Tracer
+
+TINY_TPCC = dict(duration_s=0.2, params={"clients": 40, "num_nodes": 4})
+
+
+class TestSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown experiment kind"):
+            run_experiment(ExperimentSpec(kind="nope", strategies=("calvin",)))
+
+    def test_empty_strategies(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_experiment(ExperimentSpec(kind="tpcc"))
+
+    def test_unknown_params_rejected(self):
+        spec = ExperimentSpec(kind="tpcc", strategies=("calvin",),
+                              params={"hot_fracton": 0.9})
+        with pytest.raises(TypeError, match="hot_fracton"):
+            run_experiment(spec)
+
+    def test_trace_requires_serial(self):
+        spec = ExperimentSpec(kind="tpcc", strategies=("calvin", "tpart"),
+                              trace=Tracer(), jobs=2)
+        with pytest.raises(ValueError, match="jobs=1"):
+            run_experiment(spec)
+
+    def test_with_overrides_copies(self):
+        spec = ExperimentSpec(kind="tpcc", strategies=("calvin",))
+        other = spec.with_overrides(seed=11)
+        assert other.seed == 11 and spec.seed == 7
+        assert other.strategies == spec.strategies
+
+
+class TestDelegation:
+    def test_legacy_wrapper_matches_spec(self):
+        spec = ExperimentSpec(kind="tpcc", strategies=("calvin",), **TINY_TPCC)
+        (via_spec,) = run_experiment(spec)
+        with pytest.deprecated_call():
+            (via_legacy,) = tpcc_comparison(
+                ["calvin"], 0.0, duration_s=0.2, clients=40, num_nodes=4,
+                seed=7,
+            )
+        assert via_legacy.commits == via_spec.commits
+        assert via_legacy.throughput_per_s == via_spec.throughput_per_s
+
+    def test_legacy_defaults_do_not_warn(self, recwarn):
+        tpcc_comparison(["calvin"], 0.0, duration_s=0.2, clients=40,
+                        num_nodes=4)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_trace_rides_along(self):
+        tracer = Tracer(run="api-test")
+        spec = ExperimentSpec(kind="tpcc", strategies=("calvin",),
+                              trace=tracer, **TINY_TPCC)
+        (traced,) = run_experiment(spec)
+        (plain,) = run_experiment(spec.with_overrides(trace=None))
+        assert traced.extras["tracer"] is tracer
+        assert len(tracer) > 0
+        # Tracing must not perturb the simulation.
+        assert traced.commits == plain.commits
+        assert traced.mean_latency_us == plain.mean_latency_us
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in PRESETS:
+            spec = preset_spec(name)
+            assert spec.strategies, name
+            assert spec.kind in ("google", "tpcc", "tpcc_sweep",
+                                 "multitenant", "scaleout"), name
+
+    def test_override(self):
+        spec = preset_spec("fig07", seed=1, strategies=("hermes",))
+        assert spec.seed == 1
+        assert spec.strategies == ("hermes",)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset_spec("fig99")

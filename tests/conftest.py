@@ -21,3 +21,34 @@ def small_cluster_config() -> ClusterConfig:
         num_nodes=3,
         engine=EngineConfig(epoch_us=5_000.0, workers_per_node=2),
     )
+
+
+# -- failing-test trace artifacts ---------------------------------------
+#
+# Any Tracer constructed during a test registers itself (weakly) with
+# repro.obs.hooks.  When a test fails and REPRO_TRACE_ARTIFACTS names a
+# directory, the traces it recorded are dumped there as JSONL so CI can
+# upload them as workflow artifacts; the registry is drained after every
+# test either way so tracers never leak across tests.
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        from repro.obs import hooks
+
+        written = hooks.dump_artifacts(item.nodeid)
+        if written:
+            item.add_report_section(
+                "call", "trace artifacts", "\n".join(written)
+            )
+
+
+@pytest.fixture(autouse=True)
+def _drain_tracers():
+    yield
+    from repro.obs import hooks
+
+    hooks.drain()

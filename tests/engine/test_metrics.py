@@ -40,6 +40,18 @@ class TestClusterMetrics:
             metrics.note_commit(FakeRuntime(t_commit=t * 100_000.0 + 1))
         assert metrics.throughput_per_second(1_000_000.0) == pytest.approx(10.0)
 
+    def test_throughput_clamped_below_warmup(self):
+        # Regression: an `until` before the warm-up boundary must be an
+        # explicit 0.0 (no commits are counted before warm-up), not a
+        # negative span masked by a `span <= 0` guard.
+        metrics = ClusterMetrics(window_us=1000.0)
+        metrics.warmup_until = 2_000_000.0
+        metrics.note_commit(FakeRuntime(t_commit=2_500_000.0))
+        assert metrics.commits == 1
+        assert metrics.throughput_per_second(1_000_000.0) == 0.0
+        assert metrics.throughput_per_second(2_000_000.0) == 0.0
+        assert metrics.throughput_per_second(2_500_000.0) == pytest.approx(2.0)
+
     def test_empty_metrics_are_zero(self):
         metrics = ClusterMetrics(window_us=1000.0)
         assert metrics.mean_latency_us() == 0.0
@@ -59,9 +71,12 @@ class TestPercentiles:
         metrics = ClusterMetrics(window_us=1000.0)
         for latency in (100.0, 200.0, 300.0, 400.0):
             metrics.note_commit(FakeRuntime(t_commit=latency, arrival=0.0))
-        p = metrics.latency_percentiles((0.5, 1.0))
+        p = metrics.latency_percentiles_us((0.5, 1.0))
         assert p[0.5] == 200.0
         assert p[1.0] == 400.0
+        assert metrics.latency_percentile_us(0.25) == 100.0
+        # Pre-`_us` aliases stay wired to the same histogram.
+        assert metrics.latency_percentiles((0.5,)) == {0.5: 200.0}
         assert metrics.latency_percentile(0.25) == 100.0
 
     def test_empty_is_zero(self):
@@ -74,3 +89,37 @@ class TestPercentiles:
             metrics.latency_percentile(0.0)
         with pytest.raises(ValueError):
             metrics.latency_percentile(1.5)
+
+
+class TestRegistryBacking:
+    def test_counter_facades_hit_the_registry(self):
+        metrics = ClusterMetrics(window_us=1000.0)
+        metrics.remote_reads += 3
+        metrics.remote_reads += 2
+        metrics.aborts += 1
+        assert metrics.remote_reads == 5
+        (counter,) = metrics.registry.find("remote_reads_total")
+        assert counter.value == 5.0
+        assert metrics.registry.counter("txn_aborts_total").value == 1.0
+
+    def test_counters_are_monotonic(self):
+        metrics = ClusterMetrics(window_us=1000.0)
+        metrics.writebacks += 4
+        with pytest.raises(ValueError):
+            metrics.writebacks = 1
+
+    def test_snapshot_includes_latency_histogram(self):
+        metrics = ClusterMetrics(window_us=1000.0)
+        metrics.note_commit(FakeRuntime(t_commit=150.0, arrival=50.0))
+        rows = {row["name"]: row for row in metrics.registry.snapshot()}
+        hist = rows["txn_latency_us"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 1
+        assert hist["mean"] == pytest.approx(100.0)
+        assert rows["txn_commits_total"]["value"] == 1.0
+
+    def test_common_labels_stamped_on_rows(self):
+        metrics = ClusterMetrics(window_us=1000.0)
+        metrics.registry.common_labels["strategy"] = "hermes"
+        row = metrics.registry.snapshot()[0]
+        assert row["labels"]["strategy"] == "hermes"

@@ -63,8 +63,13 @@ GOLDEN_CHAOS_FINGERPRINT = 0x27000a8c83222cc
 GOLDEN_CHAOS_APPLIED = 150
 
 
-def mini_run(name: str):
-    """One short deterministic run of a strategy preset."""
+def mini_run(name: str, trace=None):
+    """One short deterministic run of a strategy preset.
+
+    ``trace`` attaches a :class:`repro.obs.Tracer`; the trace-determinism
+    tests reuse this run (same config, same goldens) to prove tracing
+    never perturbs the simulation.
+    """
     spec = make_strategy(
         name,
         fusion=FusionConfig(capacity=60),
@@ -82,6 +87,7 @@ def mini_run(name: str):
         mode="closed",
         clients=12,
         keep_cluster=True,
+        trace=trace,
     )
 
 

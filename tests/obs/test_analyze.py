@@ -1,0 +1,124 @@
+"""Unit tests for the trace analyzers, on hand-built event lists."""
+
+from __future__ import annotations
+
+from repro.obs.analyze import (
+    event_counts,
+    format_node_load,
+    format_stage_flame,
+    format_wait_chains,
+    lock_wait_chains,
+    node_load_series,
+    seq_txn_map,
+    stage_totals,
+)
+
+
+def _event(cat, name, *, ts=0.0, dur=0.0, node=-1, **args):
+    return {"seq": 0, "ph": "i", "cat": cat, "name": name, "ts": ts,
+            "dur": dur, "node": node, "args": args}
+
+
+def _txn(seq, txn):
+    return _event("route", "txn", txn_seq=seq, txn=txn, kind="rw",
+                  coordinator=0, masters=[0], size=1)
+
+
+def _wait(seq, dur, blockers, key="key", mode="X"):
+    return _event("lock", "lock_wait", dur=dur, txn_seq=seq, key=key,
+                  mode=mode, blockers=blockers, holders=len(blockers))
+
+
+class TestSeqTxnMap:
+    def test_joins_dispatch_metadata(self):
+        events = [_txn(1, 101), _txn(2, 102), _wait(2, 5.0, [1])]
+        assert seq_txn_map(events) == {1: 101, 2: 102}
+
+
+class TestWaitChains:
+    def test_follows_worst_blocker_back_to_root(self):
+        # 3 waits on 2 which waits on 1 which never waited.
+        events = [
+            _txn(1, 101), _txn(2, 102), _txn(3, 103),
+            _wait(2, 40.0, [1]),
+            _wait(3, 90.0, [2]),
+        ]
+        chains = lock_wait_chains(events)
+        head = chains[0]
+        assert head.seqs == [3, 2, 1]
+        assert head.txns == [103, 102, 101]
+        assert head.wait_us == 90.0
+        assert head.chain_us == 130.0
+
+    def test_picks_longest_waiting_blocker(self):
+        events = [
+            _wait(1, 70.0, []),
+            _wait(2, 10.0, []),
+            _wait(5, 50.0, [1, 2]),
+        ]
+        (head, *_rest) = lock_wait_chains(events)
+        assert head.seqs == [1]  # the 70us wait outranks the chain head
+        chains = {tuple(c.seqs) for c in lock_wait_chains(events, top=3)}
+        assert (5, 1) in chains
+
+    def test_keeps_each_txns_longest_wait_and_caps_top(self):
+        events = [_wait(1, 10.0, []), _wait(1, 80.0, []),
+                  _wait(2, 30.0, []), _wait(3, 20.0, [])]
+        chains = lock_wait_chains(events, top=2)
+        assert [(c.seqs[0], c.wait_us) for c in chains] == [(1, 80.0),
+                                                           (2, 30.0)]
+
+    def test_unknown_txn_renders_as_seq(self):
+        chains = lock_wait_chains([_wait(9, 5.0, [])])
+        assert chains[0].txns == [-1]
+        assert "seq9" in format_wait_chains(chains)
+
+    def test_format_empty(self):
+        assert format_wait_chains([]) == "no lock waits recorded"
+
+
+class TestNodeLoad:
+    def test_series_groups_by_node(self):
+        events = [
+            _event("load", "node_load", ts=10.0, node=0, queued=4, epoch=1),
+            _event("load", "node_load", ts=20.0, node=1, queued=2, epoch=1),
+            _event("load", "node_load", ts=30.0, node=0, queued=6, epoch=2),
+        ]
+        series = node_load_series(events)
+        assert series == {0: [(10.0, 4.0), (30.0, 6.0)], 1: [(20.0, 2.0)]}
+        rendered = format_node_load(events)
+        assert "node  0" in rendered and "node  1" in rendered
+        assert "peak 6" in rendered
+
+    def test_format_empty(self):
+        assert format_node_load([]) == "no node-load samples recorded"
+
+
+class TestStageFlame:
+    def test_totals_sum_commit_stage_args(self):
+        events = [
+            _event("exec", "commit", node=0, txn=1, lock_wait=30.0,
+                   scheduling=10.0),
+            _event("exec", "commit", node=1, txn=2, lock_wait=10.0),
+            _event("exec", "abort", node=0, txn=3, lock_wait=999.0),
+        ]
+        totals, commits = stage_totals(events)
+        assert commits == 2
+        assert totals["lock_wait"] == 40.0
+        assert totals["scheduling"] == 10.0
+        assert totals["remote_wait"] == 0.0
+        rendered = format_stage_flame(events)
+        assert "2 commits" in rendered
+        assert "lock_wait" in rendered
+
+    def test_format_empty(self):
+        assert (format_stage_flame([])
+                == "no committed transactions with stage latencies recorded")
+
+
+class TestEventCounts:
+    def test_counts_per_category_sorted(self):
+        events = [_event("load", "node_load"), _event("exec", "commit"),
+                  _event("exec", "serve")]
+        assert list(event_counts(events).items()) == [("exec", 2),
+                                                      ("load", 1)]

@@ -1,0 +1,230 @@
+"""Unit tests for the Tracer: emission semantics, serialization formats,
+and the session-level artifact hooks."""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+
+import pytest
+
+from repro.obs import hooks
+from repro.obs.tracer import CATEGORIES, CLUSTER_PID, Tracer, read_jsonl
+from repro.obs.tracer import _jsonable
+
+
+class FakeKernel:
+    """Stands in for the simulator: the tracer only calls timestamp()."""
+
+    def __init__(self) -> None:
+        self.now_us = 0.0
+
+    def timestamp(self) -> float:
+        return self.now_us
+
+
+@pytest.fixture
+def traced():
+    kernel = FakeKernel()
+    tracer = Tracer(preset="unit", seed=1)
+    tracer.bind(kernel)
+    return kernel, tracer
+
+
+class TestEmission:
+    def test_unbound_tracer_stamps_time_zero(self):
+        tracer = Tracer()
+        tracer.instant("seq", "batch_cut", epoch=1)
+        assert tracer.events[0]["ts"] == 0.0
+
+    def test_instant_records_clock_category_and_args(self, traced):
+        kernel, tracer = traced
+        kernel.now_us = 125.5
+        tracer.instant("seq", "batch_cut", node=2, epoch=3, txns=40)
+        (event,) = tracer.events
+        assert event["ph"] == "i"
+        assert event["cat"] == "seq"
+        assert event["name"] == "batch_cut"
+        assert event["ts"] == 125.5
+        assert event["dur"] == 0.0
+        assert event["node"] == 2
+        assert event["args"] == {"epoch": 3, "txns": 40}
+
+    def test_span_duration_runs_from_start_to_now(self, traced):
+        kernel, tracer = traced
+        kernel.now_us = 300.0
+        tracer.span("exec", "execute", start_us=120.0, node=1, txn=9)
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["ts"] == 120.0
+        assert event["dur"] == 180.0
+
+    def test_span_clamps_negative_duration(self, traced):
+        kernel, tracer = traced
+        kernel.now_us = 50.0
+        tracer.span("exec", "serve", start_us=80.0)
+        assert tracer.events[0]["dur"] == 0.0
+
+    def test_seq_numbers_are_dense_and_ordered(self, traced):
+        _, tracer = traced
+        for epoch in range(5):
+            tracer.batch_cut(epoch, txns=1, backlog=0)
+        assert [e["seq"] for e in tracer.events] == [1, 2, 3, 4, 5]
+        assert len(tracer) == 5
+
+    def test_typed_helpers_use_documented_categories(self, traced):
+        kernel, tracer = traced
+        tracer.batch_cut(1, txns=10, backlog=2)
+        tracer.txn_dispatched(7, 42, "rw", 0, (0, 1), 3)
+        tracer.lock_wait("k", 7, "X", [5, 6], 2, start_us=0.0)
+        tracer.commit(42, 0, False, stages={"lock_wait": 3.0})
+        tracer.remote_read(42, 1, 0, keys=2, payload=256)
+        tracer.fusion_sample(1, size=10.0)
+        tracer.node_load(1, 0, queued=4.0)
+        tracer.migration("chunk_submit", chunk=1)
+        tracer.fault("opened", ValueError("x"))
+        cats = {e["cat"] for e in tracer.events}
+        assert cats <= set(CATEGORIES)
+        # masters tuple was coerced to a list for deterministic JSON.
+        assert tracer.events[1]["args"]["masters"] == [0, 1]
+        # abort flips the commit event name.
+        tracer.commit(43, 0, True)
+        assert tracer.events[-1]["name"] == "abort"
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        for value in ("s", 3, 2.5, True, None):
+            assert _jsonable(value) == value
+
+    def test_tuples_become_lists_and_keys_become_strings(self):
+        assert _jsonable({1: (2, 3)}) == {"1": [2, 3]}
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self) -> str:
+                return "<weird>"
+
+        assert _jsonable(Weird()) == "<weird>"
+
+
+class TestJsonl:
+    def test_round_trip_preserves_meta_and_events(self, traced, tmp_path):
+        kernel, tracer = traced
+        kernel.now_us = 10.0
+        tracer.batch_cut(1, txns=5, backlog=0)
+        tracer.node_load(1, 0, queued=2.0)
+        path = tmp_path / "t.trace.jsonl"
+        tracer.write_jsonl(path)
+        meta, events = read_jsonl(path)
+        assert meta == {"preset": "unit", "seed": 1}
+        assert events == tracer.events
+
+    def test_lines_are_sorted_key_compact_json(self, traced):
+        _, tracer = traced
+        tracer.batch_cut(1, txns=5, backlog=0)
+        header, line = tracer.jsonl_lines()
+        assert json.loads(header)["format"] == "repro-trace"
+        assert ": " not in line and ", " not in line
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_identical_event_sequences_serialize_byte_identically(self):
+        def build() -> str:
+            kernel = FakeKernel()
+            tracer = Tracer(preset="unit", seed=1)
+            tracer.bind(kernel)
+            for epoch in range(3):
+                kernel.now_us = epoch * 100.0
+                tracer.batch_cut(epoch, txns=epoch, backlog=0)
+                tracer.lock_wait("k", epoch, "S", [], 0,
+                                 start_us=kernel.now_us - 5.0)
+            return "\n".join(tracer.jsonl_lines())
+
+        assert build() == build()
+
+    def test_read_jsonl_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not_a_trace.jsonl"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            read_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_pid_tid_mapping_and_metadata(self, traced):
+        kernel, tracer = traced
+        kernel.now_us = 10.0
+        tracer.batch_cut(1, txns=5, backlog=0)          # node -1 -> pid 0
+        tracer.serve(42, 2, start_us=5.0, keys=3)       # node 2 -> pid 3
+        doc = tracer.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"preset": "unit", "seed": 1}
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["pid"]: m["args"]["name"] for m in meta} == {
+            CLUSTER_PID: "cluster", 3: "node 2",
+        }
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        seq_event, exec_event = events
+        assert seq_event["pid"] == CLUSTER_PID
+        assert seq_event["tid"] == CATEGORIES.index("seq") + 1
+        # exec spans track per transaction and keep their duration.
+        assert exec_event["tid"] == 42
+        assert exec_event["dur"] == 5.0
+
+    def test_counter_args_are_filtered_to_numerics(self, traced):
+        _, tracer = traced
+        tracer.counter("load", "node_load", node=0, queued=4.0, label="x")
+        (event,) = [
+            e for e in tracer.to_chrome_trace()["traceEvents"]
+            if e["ph"] == "C"
+        ]
+        assert event["args"] == {"queued": 4.0}
+
+    def test_write_chrome_trace_is_loadable_json(self, traced, tmp_path):
+        _, tracer = traced
+        tracer.batch_cut(1, txns=1, backlog=0)
+        path = tmp_path / "t.chrome.json"
+        tracer.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestHooks:
+    def test_tracers_register_weakly(self):
+        tracer = Tracer()
+        assert tracer in set(hooks.live_tracers())
+        del tracer
+        gc.collect()
+        assert not list(hooks.live_tracers())
+
+    def test_drain_forgets_live_tracers(self):
+        tracer = Tracer()
+        hooks.drain()
+        assert not list(hooks.live_tracers())
+        del tracer
+
+    def test_dump_artifacts_writes_sanitized_jsonl(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(hooks.ARTIFACT_ENV, str(tmp_path / "artifacts"))
+        tracer = Tracer(seed=3)
+        tracer.batch_cut(1, txns=1, backlog=0)
+        written = hooks.dump_artifacts("tests/obs/test_x.py::test[a b]")
+        assert len(written) == 1
+        name = os.path.basename(written[0])
+        assert name == "tests_obs_test_x.py_test_a_b.0.trace.jsonl"
+        meta, events = read_jsonl(written[0])
+        assert meta == {"seed": 3}
+        assert len(events) == 1
+
+    def test_dump_artifacts_skips_empty_tracers_and_unset_env(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(hooks.ARTIFACT_ENV, raising=False)
+        tracer = Tracer()
+        tracer.batch_cut(1, txns=1, backlog=0)
+        assert hooks.dump_artifacts("label") == []
+        monkeypatch.setenv(hooks.ARTIFACT_ENV, str(tmp_path))
+        hooks.drain()
+        empty = Tracer()
+        assert hooks.dump_artifacts("label") == []
+        del tracer, empty
