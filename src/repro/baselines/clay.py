@@ -74,7 +74,7 @@ class ClayRouter(CalvinRouter):
                 self.window_node_load[master] = (
                     self.window_node_load.get(master, 0.0) + share
                 )
-            for key in txn_plan.txn.full_set:
+            for key in txn_plan.txn.ordered_keys:
                 clump = self.clump_of(key)
                 self.window_clump_heat[clump] = (
                     self.window_clump_heat.get(clump, 0.0) + 1.0

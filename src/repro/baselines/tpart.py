@@ -55,7 +55,7 @@ class TPartRouter(Router):
         built: list[TxnPlan] = []
 
         for txn in user_txns:
-            keys = tuple(txn.full_set)
+            keys = txn.ordered_keys
             # The per-key code resolved every key's view owner eagerly
             # (even when forward pushing overrode it); the bulk pass
             # keeps that exact lookup sequence.

@@ -118,6 +118,18 @@ class Transaction:
         return self.read_set | self.write_set
 
     @property
+    def ordered_keys(self) -> tuple[Key, ...]:
+        """``full_set`` in a deterministic, hash-salt-independent order.
+
+        Iterating a ``frozenset`` of str-bearing keys (e.g. TPC-C's
+        composite tuples) follows the per-process ``PYTHONHASHSEED``
+        salt, so any consumer whose *sequence* of operations feeds
+        scheduling — routing loops, lock classification, reads-from
+        grouping — must iterate this instead.
+        """
+        return tuple(sorted(self.read_set | self.write_set, key=repr))
+
+    @property
     def size(self) -> int:
         """Number of distinct records touched."""
         return len(self.full_set)

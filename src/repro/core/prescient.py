@@ -62,7 +62,7 @@ class _TxnState:
     def __init__(self, index: int, txn: Transaction) -> None:
         self.index = index
         self.txn = txn
-        self.keys: tuple[Key, ...] = tuple(txn.full_set)
+        self.keys: tuple[Key, ...] = txn.ordered_keys
         self.counts: dict[NodeId, int] = {}
         self.best_node: NodeId = 0
         self.best_count: int = -1
@@ -318,7 +318,7 @@ class PrescientRouter(Router):
     def _build_plan(
         self, txn: Transaction, master: NodeId, view: ClusterView
     ) -> TxnPlan:
-        keys = tuple(txn.full_set)
+        keys = txn.ordered_keys
         write_set = txn.write_set
         reads_from: dict[NodeId, set[Key]] = {}
         migrations: list[Migration] = []

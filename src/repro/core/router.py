@@ -207,7 +207,7 @@ def count_by_owner(
     txn: Transaction, view: ClusterView, keys: Iterable[Key] | None = None
 ) -> dict[NodeId, int]:
     """How many of the transaction's keys each node currently owns."""
-    key_seq = tuple(keys) if keys is not None else tuple(txn.full_set)
+    key_seq = tuple(keys) if keys is not None else txn.ordered_keys
     counts: dict[NodeId, int] = {}
     for owner in view.ownership.owners_bulk(key_seq):
         counts[owner] = counts.get(owner, 0) + 1
@@ -276,7 +276,7 @@ def build_single_master_plan(
     # One bulk ownership pass covers every loop below: the view is only
     # mutated afterwards (``update_view``), so all lookups see the same
     # pre-transaction placement the per-key code did.
-    keys = tuple(txn.full_set)
+    keys = txn.ordered_keys
     owner_of = dict(zip(keys, view.ownership.owners_bulk(keys)))
     write_set = txn.write_set
 
@@ -301,7 +301,7 @@ def build_single_master_plan(
             writes_at.setdefault(owner, set()).add(key)
 
     if migrate_reads:
-        for key in txn.read_set - write_set:
+        for key in sorted(txn.read_set - write_set, key=repr):
             owner = owner_of[key]
             if owner != master:
                 migrations.append(Migration(key, owner, master))
@@ -334,7 +334,7 @@ def build_multi_master_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
     owns.  Read-only transactions execute at the majority read owner.
     No data moves permanently.
     """
-    keys = tuple(txn.full_set)
+    keys = txn.ordered_keys
     owner_of = dict(zip(keys, view.ownership.owners_bulk(keys)))
     write_set = txn.write_set
 

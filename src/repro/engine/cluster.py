@@ -64,7 +64,9 @@ class Cluster:
         self.tracer = tracer
         if tracer is not None:
             tracer.bind(self.kernel)
-        self.lock_manager = LockManager(tracer=tracer)
+        self.lock_manager = LockManager(
+            tracer=tracer, digest=self.kernel.digest
+        )
         self.nodes: list[Node] = [
             Node(self.kernel, node_id, config, stats_window_us)
             for node_id in range(config.num_nodes)
@@ -172,6 +174,9 @@ class Cluster:
         self._scheduler_free_at = done
         self.kernel.call_later(done - self.kernel.now, self._dispatch,
                                plan, t_sequenced)
+        digest = self.kernel.digest
+        if digest is not None:
+            digest.note("sched.route", batch.epoch, len(batch))
         tracer = self.tracer
         if tracer is not None:
             tracer.route_batch(batch.epoch, len(batch), start, routing_cost)
@@ -245,8 +250,17 @@ class Cluster:
     def _dispatch(self, plan, t_sequenced: float) -> None:
         now = self.kernel.now
         tracer = self.tracer
+        digest = self.kernel.digest
         for txn_plan in plan:
             self._next_seq += 1
+            if digest is not None:
+                # Dispatch order assigns the lock-acquisition sequence:
+                # the exact ordering decision the lint's set-iteration
+                # rule protects, so it goes into the stream verbatim.
+                digest.note(
+                    "sched.dispatch", self._next_seq, txn_plan.txn.txn_id,
+                    txn_plan.coordinator,
+                )
             if tracer is not None:
                 txn = txn_plan.txn
                 tracer.txn_dispatched(

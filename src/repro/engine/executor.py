@@ -91,7 +91,7 @@ class TxnRuntime:
         self._lock_mode: dict[Key, LockMode] = {}
         migrated_keys = {m.key for m in plan.migrations}
         write_set = self.txn.write_set
-        for key in self.txn.full_set:
+        for key in self.txn.ordered_keys:
             exclusive = key in write_set or key in migrated_keys
             self._lock_mode[key] = LockMode.X if exclusive else LockMode.S
             self._release_stage[key] = (

@@ -81,11 +81,16 @@ class _KeyQueue:
 class LockManager:
     """Per-key FIFO queues with S/X modes and in-order grants."""
 
-    def __init__(self, tracer: "Tracer | None" = None) -> None:
+    def __init__(
+        self, tracer: "Tracer | None" = None, digest: object | None = None
+    ) -> None:
         self._queues: dict[Key, _KeyQueue] = {}
         self.grants_total = 0
         self.waits_total = 0
         self.tracer = tracer
+        #: optional event-stream digest (the lock manager has no kernel
+        #: reference, so the cluster hands the kernel's digest in).
+        self.digest = digest
 
     def enqueue(
         self,
@@ -160,6 +165,11 @@ class LockManager:
         if request.mode is LockMode.X:
             queue.exclusive_holders += 1
         self.grants_total += 1
+        digest = self.digest
+        if digest is not None:
+            # Grant order is where clogging (and any reordering bug in
+            # the scheduler above) becomes externally visible.
+            digest.note("lock.grant", request.seq, request.mode.value, key)
         if request.wait_from is not None:
             tracer = self.tracer
             if tracer is not None:

@@ -124,6 +124,11 @@ class Sequencer:
             tracer = self.tracer
             if tracer is not None:
                 tracer.batch_cut(self._epoch, len(txns), self.backlog)
+            digest = self.kernel.digest
+            if digest is not None:
+                # Batch composition *and order* are the total-order input
+                # everything downstream depends on — fold the ids.
+                digest.note("seq.cut", self._epoch, batch.ids())
         self.kernel.call_later(self.config.epoch_us, self._cut_batch)
 
     def _deliver_ordered(self, batch: Batch) -> None:
@@ -136,4 +141,7 @@ class Sequencer:
         tracer = self.tracer
         if tracer is not None:
             tracer.batch_delivered(batch.epoch, len(batch))
+        digest = self.kernel.digest
+        if digest is not None:
+            digest.note("seq.deliver", batch.epoch, len(batch))
         self.deliver(batch)

@@ -216,6 +216,48 @@ def tracer_overhead(scale: float) -> int:
     return n_procs * n_rounds
 
 
+def digest_overhead(scale: float) -> int:
+    """``kernel_e2e`` with the event-stream digest *enabled*.
+
+    Identical logical work to :func:`kernel_e2e`, but the kernel carries
+    a live :class:`repro.sanitize.digest.StreamDigest`, so every
+    dispatched event is folded into the BLAKE2b fingerprint the
+    dual-replay divergence detector compares.  This tracks what turning
+    the sanitizer on costs; the *disabled* cost (the hoisted
+    ``digest is None`` guard that every run now pays) is bounded by
+    ``kernel_e2e`` itself, whose gate compares against baselines
+    recorded before the guard existed.  Work unit: one completed round.
+    """
+    from repro.sanitize.digest import StreamDigest
+
+    kernel = Kernel()
+    kernel.attach_digest(StreamDigest())
+    n_procs = 100
+    n_rounds = max(1, int(1_250 * scale))
+    pipeline_hops = 8
+
+    def hop(remaining: int, event: "object", value: int) -> None:
+        if remaining == 0:
+            event.trigger(value)
+        else:
+            kernel.call_soon(hop, remaining - 1, event, value)
+
+    def client(_pid: int):
+        for round_no in range(n_rounds):
+            event = kernel.event()
+            timeout = kernel.call_later(10_000.0, _noop)
+            kernel.call_later(5.0, hop, pipeline_hops, event, round_no)
+            yield event
+            if timeout is not None and hasattr(timeout, "cancel"):
+                timeout.cancel()
+            yield Delay(1.0)
+
+    for pid in range(n_procs):
+        kernel.process(client(pid), name=f"perf-client-{pid}")
+    kernel.run()
+    return n_procs * n_rounds
+
+
 def network_send(scale: float) -> int:
     """Reliable message waves across a 4-node fabric.
 
@@ -360,6 +402,7 @@ SCENARIOS: dict[str, Callable[[float], int]] = {
     "kernel_timers": kernel_timers,
     "kernel_e2e": kernel_e2e,
     "tracer_overhead": tracer_overhead,
+    "digest_overhead": digest_overhead,
     "network_send": network_send,
     "routing": routing,
     "end_to_end": end_to_end,

@@ -1,0 +1,236 @@
+"""Known-bad (and known-good) snippets proving each lint rule works.
+
+``BAD`` maps each rule code to snippets that must produce *exactly* that
+finding; ``CLEAN`` holds snippets that must lint clean — including the
+suppressed twins of bad snippets, which is what pins the suppression
+syntax.  ``tests/sanitize/test_lint_rules.py`` sweeps both tables, so a
+rule that silently stops firing (or starts over-firing) breaks the
+build.
+
+These sources are *data*, not code: nothing here is imported or
+executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BAD", "CLEAN", "Snippet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Snippet:
+    """One corpus entry: a name, the source, and the expected line."""
+
+    name: str
+    source: str
+    line: int = 1
+
+
+BAD: dict[str, list[Snippet]] = {
+    "ND100": [
+        Snippet(
+            "empty-reason",
+            # Assembled from pieces so the line-based suppression scanner
+            # does not read this corpus file's own source as suppressed.
+            "x = 1  # saniti" + "ze: ok()\n",
+        ),
+    ],
+    "ND101": [
+        Snippet(
+            "for-over-set-literal",
+            "for item in {3, 1, 2}:\n    consume(item)\n",
+        ),
+        Snippet(
+            "for-over-set-call",
+            "pending = set(batch)\nfor txn in pending:\n    dispatch(txn)\n",
+            line=2,
+        ),
+        Snippet(
+            "for-over-frozenset-var",
+            "keys = frozenset(txn.read_set)\nfor key in keys:\n"
+            "    lock(key)\n",
+            line=2,
+        ),
+        Snippet(
+            "comprehension-over-set",
+            "order = [node for node in {4, 5, 6}]\n",
+        ),
+        Snippet(
+            "list-of-set",
+            "queue = list({'a', 'b'})\n",
+        ),
+        Snippet(
+            "enumerate-set",
+            "ranks = dict(enumerate(set(names)))\n",
+        ),
+        Snippet(
+            "join-over-set",
+            "path = '/'.join({'x', 'y'})\n",
+        ),
+        Snippet(
+            "star-unpack-set",
+            "schedule(*{7, 8, 9})\n",
+        ),
+        Snippet(
+            "tuple-unpack-set",
+            "first, second = {10, 11}\n",
+        ),
+        Snippet(
+            "set-binop-iteration",
+            "owners_a = set(plan_a)\nowners_b = set(plan_b)\n"
+            "shared = owners_a & owners_b\nfor node in shared:\n"
+            "    send(node)\n",
+            line=4,
+        ),
+        Snippet(
+            "annotated-param",
+            "def fan_out(replicas: set[int]):\n"
+            "    for replica in replicas:\n        ping(replica)\n",
+            line=2,
+        ),
+        Snippet(
+            "self-attr-set",
+            "class Router:\n"
+            "    def __init__(self):\n"
+            "        self.active = set()\n"
+            "    def broadcast(self):\n"
+            "        for node in self.active:\n"
+            "            send(node)\n",
+            line=5,
+        ),
+    ],
+    "ND102": [
+        Snippet(
+            "time-time",
+            "stamp = time.time()\n",
+        ),
+        Snippet(
+            "datetime-now",
+            "started = datetime.now()\n",
+        ),
+        Snippet(
+            "perf-counter",
+            "t0 = time.perf_counter()\n",
+        ),
+    ],
+    "ND103": [
+        Snippet(
+            "module-random",
+            "jitter = random.random()\n",
+        ),
+        Snippet(
+            "module-shuffle",
+            "random.shuffle(batch)\n",
+        ),
+        Snippet(
+            "unseeded-Random",
+            "rng = random.Random()\n",
+        ),
+        Snippet(
+            "numpy-global",
+            "noise = np.random.normal(0.0, 1.0)\n",
+        ),
+        Snippet(
+            "unseeded-default-rng",
+            "gen = default_rng()\n",
+        ),
+    ],
+    "ND104": [
+        Snippet(
+            "urandom",
+            "token = os.urandom(8)\n",
+        ),
+        Snippet(
+            "uuid4",
+            "run_id = uuid.uuid4()\n",
+        ),
+        Snippet(
+            "secrets",
+            "nonce = secrets.token_hex(4)\n",
+        ),
+    ],
+    "ND105": [
+        Snippet(
+            "sort-key-id",
+            "ordered = sorted(nodes, key=id)\n",
+        ),
+        Snippet(
+            "sort-key-lambda-id",
+            "nodes.sort(key=lambda n: (id(n), n.load))\n",
+        ),
+        Snippet(
+            "dict-keyed-by-id",
+            "index = {id(txn): txn}\n",
+        ),
+    ],
+    "ND106": [
+        Snippet(
+            "sort-key-hash",
+            "ordered = sorted(keys, key=hash)\n",
+        ),
+        Snippet(
+            "sort-key-lambda-hash",
+            "ordered = sorted(keys, key=lambda k: hash(k) % 64)\n",
+        ),
+    ],
+    "ND107": [
+        Snippet(
+            "listdir",
+            "for name in os.listdir(root):\n    load(name)\n",
+        ),
+        Snippet(
+            "glob",
+            "traces = glob.glob('*.jsonl')\n",
+        ),
+        Snippet(
+            "iterdir",
+            "for entry in path.iterdir():\n    load(entry)\n",
+        ),
+    ],
+}
+
+
+CLEAN: list[Snippet] = [
+    Snippet(
+        "sorted-set-iteration",
+        "for item in sorted({3, 1, 2}):\n    consume(item)\n",
+    ),
+    Snippet(
+        "set-membership",
+        "hot = set(keys)\nif key in hot:\n    promote(key)\n",
+    ),
+    Snippet(
+        "set-aggregation",
+        "total = sum({1, 2, 3})\nbiggest = max(set(sizes))\n",
+    ),
+    Snippet(
+        "set-from-set",
+        "survivors = {k for k in dead_keys}\n",
+    ),
+    Snippet(
+        "dict-iteration-is-ordered",
+        "for key, value in table.items():\n    apply(key, value)\n",
+    ),
+    Snippet(
+        "seeded-rng",
+        "rng = random.Random(derive_seed(7, 'driver'))\n"
+        "gen = default_rng(12345)\n",
+    ),
+    Snippet(
+        "sorted-listdir",
+        "for name in sorted(os.listdir(root)):\n    load(name)\n",
+    ),
+    Snippet(
+        "suppressed-set-iteration",
+        "known_set = set(values)\n"
+        "for item in known_set:  "
+        "# sanitize: ok(elements are ints; int hashing is unsalted)\n"
+        "    consume(item)\n",
+    ),
+    Snippet(
+        "suppressed-wall-clock",
+        "t0 = time.perf_counter()  "
+        "# sanitize: ok(bench harness measures real wall time)\n",
+    ),
+]

@@ -1,0 +1,143 @@
+"""Incremental event-stream digests for divergence detection.
+
+A :class:`StreamDigest` folds every dispatched kernel event — its
+simulated time, global sequence number, callback identity, and a *stable*
+rendering of its payload — into one running BLAKE2b hash.  Two runs of
+the same experiment must produce the same digest; any scheduling
+reordering, however small, changes it.  Final-state fingerprints cannot
+see reorderings that happen to converge; the stream digest can.
+
+Stability across processes
+--------------------------
+The digest must be identical across *processes* (the dual-replay harness
+compares a parent run against a subprocess run under a perturbed
+``PYTHONHASHSEED``), so nothing address- or hash-order-dependent may
+enter it: callbacks are rendered by ``__qualname__``, payload values by
+``repr`` for scalar types and by *type name only* for everything else
+(object ``repr`` may embed ``id()`` hex).
+
+Enabling
+--------
+There is no ambient "digesting on" flag consulted per event.  A kernel
+built while :func:`capture_digests` is active auto-attaches a fresh
+digest (and the context collects them in kernel-creation order, which is
+deterministic); ``Kernel.attach_digest`` opts a single kernel in
+manually.  Detached — the default — the kernel dispatch loop pays one
+local ``None`` check per event, bounded by the ``digest_overhead`` perf
+scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.sim import kernel as _kernel_mod
+
+#: digest size in bytes; 16 is ample for divergence detection.
+_DIGEST_SIZE = 16
+
+
+def stable_repr(value: Any) -> str:
+    """A process-stable rendering of an event payload value.
+
+    Scalars render exactly (``repr`` of ``float`` round-trips); tuples
+    and lists recurse; anything else contributes only its type name,
+    because arbitrary ``repr`` output may embed memory addresses that
+    differ between the parent and subprocess legs of a dual replay.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(stable_repr(v) for v in value)
+        return f"[{inner}]"
+    return type(value).__name__
+
+
+def _callback_name(fn: Callable) -> str:
+    """A process-stable identity for a dispatched callback."""
+    name = getattr(fn, "__qualname__", None)
+    if name is None:
+        name = type(fn).__name__
+    return name
+
+
+class StreamDigest:
+    """One kernel's running event-stream hash.
+
+    ``tap`` is the kernel dispatch-loop hook (time/seq/callback/args);
+    ``note`` is the engine-boundary hook (sequencer cuts, scheduler
+    dispatch order, lock grants) carrying semantic payload that makes a
+    divergence report readable.  With ``record=True`` every folded line
+    is kept so :func:`repro.sanitize.replay.dual_replay` can binary-
+    compare two streams and name the first divergent event.
+    """
+
+    __slots__ = ("_hash", "count", "record", "lines")
+
+    def __init__(self, record: bool = False) -> None:
+        self._hash = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        self.count = 0
+        self.record = record
+        self.lines: list[str] = []
+
+    # -- hooks -------------------------------------------------------------
+
+    def tap(self, when: float, seq: int, fn: Callable, args: tuple) -> None:
+        """Fold one dispatched kernel event (called from the run loops)."""
+        line = (
+            f"k|{when!r}|{seq}|{_callback_name(fn)}|"
+            f"{','.join(stable_repr(a) for a in args)}"
+        )
+        self._fold(line)
+
+    def note(self, kind: str, *payload: Any) -> None:
+        """Fold one semantic engine-boundary event.
+
+        ``kind`` names the boundary (``seq.cut``, ``sched.dispatch``,
+        ``lock.grant``, ...); payload values go through
+        :func:`stable_repr`.
+        """
+        line = f"e|{kind}|{','.join(stable_repr(p) for p in payload)}"
+        self._fold(line)
+
+    def _fold(self, line: str) -> None:
+        self.count += 1
+        self._hash.update(line.encode("utf-8"))
+        self._hash.update(b"\n")
+        if self.record:
+            self.lines.append(line)
+
+    # -- results -----------------------------------------------------------
+
+    def hexdigest(self) -> str:
+        """Hex digest of everything folded so far."""
+        return self._hash.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamDigest({self.count} events, {self.hexdigest()})"
+
+
+@contextmanager
+def capture_digests(record: bool = False) -> Iterator[list[StreamDigest]]:
+    """Attach a fresh :class:`StreamDigest` to every kernel built inside.
+
+    Yields the list the digests accumulate into, in kernel-creation
+    order — deterministic for a serial experiment, which is why the
+    replay harness forces ``jobs=None``.  The previous factory (normally
+    none) is restored on exit, so captures never leak into later runs.
+    """
+    collected: list[StreamDigest] = []
+
+    def factory() -> StreamDigest:
+        digest = StreamDigest(record=record)
+        collected.append(digest)
+        return digest
+
+    previous = _kernel_mod.get_digest_factory()
+    _kernel_mod.set_digest_factory(factory)
+    try:
+        yield collected
+    finally:
+        _kernel_mod.set_digest_factory(previous)

@@ -42,6 +42,24 @@ from typing import Any, Callable, Generator, Iterable
 
 from repro.common.errors import SimulationError
 
+#: When set, every new :class:`Kernel` attaches ``_digest_factory()`` at
+#: construction.  Installed by :func:`repro.sanitize.digest.capture_digests`
+#: so the dual-replay harness can fingerprint runs without threading a
+#: digest through every experiment entry point; ``None`` (the default)
+#: keeps kernels digest-free.
+_digest_factory: Callable[[], Any] | None = None
+
+
+def set_digest_factory(factory: Callable[[], Any] | None) -> None:
+    """Install (or clear) the auto-attach digest factory for new kernels."""
+    global _digest_factory
+    _digest_factory = factory
+
+
+def get_digest_factory() -> Callable[[], Any] | None:
+    """The currently installed auto-attach digest factory, if any."""
+    return _digest_factory
+
 
 class TimerHandle:
     """A cancellable ``call_later`` registration.
@@ -230,6 +248,12 @@ class Kernel:
         self._dead = 0
         self._running = False
         self.events_processed = 0
+        #: optional event-stream digest (see :mod:`repro.sanitize.digest`).
+        #: ``None`` keeps the dispatch loops on a single local ``None``
+        #: check per event.
+        self._digest: Any = (
+            _digest_factory() if _digest_factory is not None else None
+        )
 
     # -- scheduling ----------------------------------------------------------
 
@@ -278,6 +302,28 @@ class Kernel:
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh one-shot event bound to this kernel."""
         return SimEvent(self, name=name)
+
+    @property
+    def digest(self) -> Any:
+        """The attached event-stream digest, or ``None``.
+
+        Engine components tap semantic boundaries through this handle
+        with the same guard discipline the tracer uses::
+
+            dg = self.kernel.digest
+            if dg is not None:
+                dg.note("seq.cut", epoch, n)
+        """
+        return self._digest
+
+    def attach_digest(self, digest: Any) -> None:
+        """Attach an event-stream digest to this kernel.
+
+        Takes effect for events dispatched by the *next* ``run`` /
+        ``run_until`` call (the loops hoist the digest reference once per
+        call, like their other hot locals).
+        """
+        self._digest = digest
 
     def timestamp(self) -> float:
         """The current simulated time, in microseconds.
@@ -328,10 +374,11 @@ class Kernel:
         runq, heap = self._runq, self._heap
         popleft = runq.popleft
         heappop = heapq.heappop
+        digest = self._digest
         try:
             while True:
                 if runq and (not heap or runq[0] < heap[0]):
-                    when, _seq, fn, args = runq[0]
+                    when, seq, fn, args = runq[0]
                     if when > t_end:
                         break
                     popleft()
@@ -341,6 +388,7 @@ class Kernel:
                     if when > t_end:
                         break
                     heappop(heap)
+                    seq = entry[1]
                     if len(entry) == 4:
                         fn, args = entry[2], entry[3]
                     else:
@@ -353,6 +401,8 @@ class Kernel:
                     break
                 self.now = when
                 self.events_processed += 1
+                if digest is not None:
+                    digest.tap(when, seq, fn, args)
                 fn(*args)
             self.now = max(self.now, t_end)
         finally:
@@ -366,13 +416,15 @@ class Kernel:
         runq, heap = self._runq, self._heap
         popleft = runq.popleft
         heappop = heapq.heappop
+        digest = self._digest
         try:
             while True:
                 if runq and (not heap or runq[0] < heap[0]):
-                    when, _seq, fn, args = popleft()
+                    when, seq, fn, args = popleft()
                 elif heap:
                     entry = heappop(heap)
                     when = entry[0]
+                    seq = entry[1]
                     if len(entry) == 4:
                         fn, args = entry[2], entry[3]
                     else:
@@ -385,6 +437,8 @@ class Kernel:
                     break
                 self.now = when
                 self.events_processed += 1
+                if digest is not None:
+                    digest.tap(when, seq, fn, args)
                 fn(*args)
         finally:
             self._running = False

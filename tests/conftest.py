@@ -2,10 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.common.config import ClusterConfig, EngineConfig
 from repro.common.rng import DeterministicRNG
+
+# -- hypothesis example budgets -----------------------------------------
+#
+# Tests that do not pin their own ``@settings`` draw their example budget
+# from the active profile: ``ci`` (default) keeps tier-1 fast; the
+# nightly workflow exports REPRO_HYPOTHESIS_PROFILE=nightly for a much
+# deeper sweep of the property-based differential suite.
+
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

@@ -1,0 +1,99 @@
+"""Property-based differential determinism: random small workloads and
+fault plans must fingerprint identically run-to-run.
+
+Example budgets come from the hypothesis profile registered in
+``tests/conftest.py`` — ``ci`` by default, ``nightly`` (larger) when
+``REPRO_HYPOTHESIS_PROFILE=nightly``.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRNG
+from repro.faults.chaos import (
+    ChaosConfig,
+    make_cluster_builder,
+    make_schedule,
+    run_chaos_trial,
+    run_reference,
+    verify_trial,
+)
+from repro.faults.plan import FaultPlan
+from repro.sanitize.digest import StreamDigest, capture_digests
+from repro.sim.kernel import Kernel
+
+CFG = ChaosConfig(num_nodes=3, num_keys=400, num_txns=30)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    schedule = make_schedule(CFG, seed=17)
+    build = make_cluster_builder(CFG)
+    reference = run_reference(CFG, schedule, build)
+    assert reference.problems == []
+    return schedule, build, reference
+
+
+class TestKernelDigestProperty:
+    @given(
+        delays=st.lists(
+            st.integers(min_value=1, max_value=500),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_identical_schedules_identical_digests(self, delays):
+        def drive() -> str:
+            kernel = Kernel()
+            kernel.attach_digest(StreamDigest())
+            for i, delay in enumerate(delays):
+                kernel.call_later(float(delay), _sink, i)
+            kernel.run()
+            return kernel.digest.hexdigest()
+
+        assert drive() == drive()
+
+
+class TestWorkloadDigestProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_txns=st.integers(min_value=5, max_value=40),
+    )
+    def test_random_workloads_fingerprint_stably(self, seed, num_txns):
+        cfg = ChaosConfig(
+            num_nodes=3, num_keys=400, num_txns=num_txns
+        )
+        schedule = make_schedule(cfg, seed=seed)
+        build = make_cluster_builder(cfg)
+
+        def run_once():
+            with capture_digests() as digests:
+                result = run_reference(cfg, schedule, build)
+            return result, [d.hexdigest() for d in digests]
+
+        first, digests_a = run_once()
+        second, digests_b = run_once()
+        assert first.problems == [] and second.problems == []
+        assert first.fingerprint == second.fingerprint
+        assert digests_a == digests_b
+
+
+class TestFaultPlanProperty:
+    @given(plan_seed=st.integers(min_value=0, max_value=2**16))
+    def test_random_fault_plans_preserve_state(self, harness, plan_seed):
+        schedule, build, reference = harness
+        rng = DeterministicRNG(plan_seed, "differential")
+        plan = FaultPlan.random(
+            rng,
+            CFG.num_nodes,
+            CFG.horizon_us,
+            crash_probability=0.5,
+            max_window_us=200_000.0,
+        )
+        trial = run_chaos_trial(CFG, schedule, build, plan, rng.fork("inject"))
+        problems = verify_trial(trial, reference)
+        assert problems == [], f"plan {plan_seed}: {problems}"
+
+
+def _sink(*_args) -> None:
+    pass

@@ -1,0 +1,122 @@
+"""The event-stream digest: stable rendering, kernel taps, engine taps,
+and the disabled-by-default guarantee."""
+
+from repro.api import ExperimentSpec
+from repro.sanitize.digest import StreamDigest, capture_digests, stable_repr
+from repro.sanitize.replay import run_digest
+from repro.sim.kernel import Kernel, get_digest_factory
+
+
+def _tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(kind="multitenant", strategies=("calvin",), seed=11)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestStableRepr:
+    def test_scalars_render_by_value(self):
+        assert stable_repr(7) == "7"
+        assert stable_repr("txn-7") == "'txn-7'"
+        assert stable_repr(2.5) == "2.5"
+        assert stable_repr(None) == "None"
+
+    def test_containers_recurse(self):
+        assert stable_repr((1, "a")) == "[1,'a']"
+        assert stable_repr([1, [2, 3]]) == "[1,[2,3]]"
+        # tuple vs list renders identically: JSON round-trips in the
+        # subprocess leg must not change the digest.
+        assert stable_repr((1, 2)) == stable_repr([1, 2])
+
+    def test_objects_render_by_type_never_address(self):
+        class Widget:
+            pass
+
+        a, b = Widget(), Widget()
+        assert stable_repr(a) == stable_repr(b) == "Widget"
+        assert "0x" not in stable_repr(a)
+
+
+class TestStreamDigest:
+    def test_same_stream_same_digest(self):
+        a, b = StreamDigest(), StreamDigest()
+        for d in (a, b):
+            d.tap(1.0, 1, _tiny_spec, (1, "x"))
+            d.note("seq.cut", 1, (4, 5))
+        assert a.hexdigest() == b.hexdigest()
+        assert a.count == b.count == 2  # one tap + one note
+
+    def test_different_order_different_digest(self):
+        a, b = StreamDigest(), StreamDigest()
+        a.note("seq.cut", 1, (4, 5))
+        b.note("seq.cut", 1, (5, 4))
+        assert a.hexdigest() != b.hexdigest()
+
+    def test_record_keeps_lines(self):
+        d = StreamDigest(record=True)
+        d.note("lock.grant", 3, "X", "k")
+        assert d.lines and d.lines[0].startswith("e|lock.grant")
+
+
+class TestKernelIntegration:
+    def test_digest_is_off_by_default(self):
+        kernel = Kernel()
+        assert kernel.digest is None
+        assert get_digest_factory() is None
+
+    def test_attached_digest_counts_events(self):
+        kernel = Kernel()
+        kernel.attach_digest(StreamDigest())
+        hits = []
+        for i in range(5):
+            kernel.call_later(float(i + 1), hits.append, i)
+        kernel.run()
+        assert len(hits) == 5
+        assert kernel.digest.count == 5
+
+    def test_identical_kernel_runs_match(self):
+        def drive() -> str:
+            kernel = Kernel()
+            kernel.attach_digest(StreamDigest())
+            for i in range(20):
+                kernel.call_later(float((i * 13) % 7 + 1), _noop, i)
+            kernel.run()
+            return kernel.digest.hexdigest()
+
+        assert drive() == drive()
+
+    def test_capture_collects_kernels_in_creation_order(self):
+        with capture_digests() as digests:
+            for rounds in (3, 5):
+                kernel = Kernel()
+                for i in range(rounds):
+                    kernel.call_later(float(i + 1), _noop, i)
+                kernel.run()
+        assert [d.count for d in digests] == [3, 5]
+        assert get_digest_factory() is None
+
+
+def _noop(*_args) -> None:
+    pass
+
+
+class TestEngineTaps:
+    def test_experiment_digest_carries_semantic_taps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+        result = run_digest(_tiny_spec(), record=True)
+        lines = [line for k in result.kernels for line in (k.lines or [])]
+        kinds = {line.split("|")[1] for line in lines if line.startswith("e|")}
+        assert {"seq.cut", "seq.deliver", "sched.route",
+                "sched.dispatch", "lock.grant"} <= kinds
+
+    def test_experiment_digest_is_reproducible(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+        first = run_digest(_tiny_spec())
+        second = run_digest(_tiny_spec())
+        assert first.combined == second.combined
+        assert first.events == second.events > 0
+
+    def test_seed_changes_the_digest(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+        a = run_digest(_tiny_spec(seed=11))
+        b = run_digest(_tiny_spec(seed=12))
+        assert a.combined != b.combined

@@ -1,0 +1,114 @@
+"""Dual replay: every preset deterministic across repeat runs and two
+``PYTHONHASHSEED`` values, and the injected hash-order bug caught and
+localized — the validate-the-validator half of the detector."""
+
+import pytest
+
+from repro.api import PRESETS, ExperimentSpec, preset_spec
+from repro.sanitize.replay import (
+    INJECT_ENV,
+    dual_replay,
+    first_divergence,
+    run_digest,
+    run_digest_subprocess,
+    spec_from_payload,
+    spec_payload,
+)
+
+
+def _tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(kind="multitenant", strategies=("calvin",), seed=11)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(autouse=True)
+def _small_runs(monkeypatch):
+    """Downscale every run (inherited by the subprocess legs too)."""
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+
+
+class TestSpecPayload:
+    def test_round_trip(self):
+        spec = preset_spec("fig06a", seed=3)
+        back = spec_from_payload(spec_payload(spec))
+        assert back.kind == spec.kind
+        assert back.strategies == spec.strategies
+        assert back.seed == spec.seed
+
+    def test_rejects_non_json_params(self):
+        spec = _tiny_spec(params={"cb": object()})
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            spec_payload(spec)
+
+
+class TestSubprocessLeg:
+    def test_child_digest_matches_parent(self):
+        spec = _tiny_spec()
+        parent = run_digest(spec)
+        child = run_digest_subprocess(spec, hashseed=99)
+        assert child.combined == parent.combined
+        assert child.events == parent.events
+
+
+class TestDualReplay:
+    def test_tiny_spec_is_deterministic(self):
+        report = dual_replay(_tiny_spec(), hashseeds=(1, 2))
+        assert report.ok, report.describe()
+        assert len(set(report.digests.values())) == 1
+        assert "DETERMINISTIC" in report.describe()
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_preset_is_deterministic(self, name):
+        report = dual_replay(preset_spec(name), hashseeds=(1, 2))
+        assert report.ok, f"{name}:\n{report.describe()}"
+
+
+class TestInjectedBug:
+    """``REPRO_SANITIZE_INJECT=set-iteration`` plants a genuine
+    hash-order bug in the sequencer; the detector must catch it in the
+    hash leg (it is invisible in-process) and localize the first
+    divergent event."""
+
+    @pytest.fixture(autouse=True)
+    def _armed(self, monkeypatch):
+        monkeypatch.setenv(INJECT_ENV, "set-iteration")
+
+    def test_bug_is_invisible_to_the_repeat_leg(self):
+        spec = _tiny_spec()
+        assert run_digest(spec).combined == run_digest(spec).combined
+
+    def test_dual_replay_catches_and_localizes(self):
+        report = dual_replay(_tiny_spec(), hashseeds=(1, 2))
+        assert not report.ok
+        # The in-process legs agree with each other; a hash leg differs.
+        assert report.digests["run-a"] == report.digests["run-b"]
+        assert any(
+            report.digests[label] != report.digests["run-a"]
+            for label in report.digests if label.startswith("hashseed-")
+        )
+        divergence = report.divergence
+        assert divergence is not None
+        assert divergence.line_a != divergence.line_b
+        assert divergence.event_index >= 0
+        described = report.describe()
+        assert "DIVERGENT" in described
+        assert "first divergent event" in described
+        # Localization carries tracer span context around the event.
+        assert divergence.trace_context
+
+
+class TestFirstDivergence:
+    def test_handles_unequal_stream_lengths(self):
+        a = run_digest(_tiny_spec(), record=True)
+        import copy
+
+        b = copy.deepcopy(a)
+        kernel = b.kernels[0]
+        kernel.lines.pop()
+        kernel.hexdigest = "0" * 32
+        located = first_divergence(a, b)
+        assert located is not None
+        _, index, line_a, line_b = located
+        assert line_b == "<stream ended>"
+        assert line_a != line_b
