@@ -51,6 +51,8 @@ from repro.engine import (
     Cluster,
     DurableState,
     MigrationController,
+    MigrationSession,
+    MigrationState,
     recover_from_crash,
     replay_command_log,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "HybridMigrationPlanner",
     "LookupPartitioner",
     "MigrationController",
+    "MigrationSession",
+    "MigrationState",
     "PrescientRouter",
     "RangePartitioner",
     "Router",

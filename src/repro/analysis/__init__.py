@@ -12,12 +12,18 @@ from repro.analysis.plan_quality import (
     reorder_displacement,
 )
 from repro.analysis.overlay_stats import InstrumentedOverlay
+from repro.analysis.placement_audit import (
+    PlacementAuditReport,
+    audit_placement,
+)
 from repro.analysis.text import ascii_histogram
 
 __all__ = [
     "BatchQuality",
     "InstrumentedOverlay",
+    "PlacementAuditReport",
     "PlanQualityProbe",
     "ascii_histogram",
+    "audit_placement",
     "reorder_displacement",
 ]

@@ -1,0 +1,192 @@
+"""Placement invariant auditor.
+
+End-of-run cross-check between three views of record placement that must
+agree in a correct deterministic deployment:
+
+1. **Physical** — which node's store actually holds each record.
+2. **Logical** — the :class:`~repro.core.router.OwnershipView`: the
+   fusion/migration overlay layered over the static home map.
+3. **Historical** — the WAL-visible migration history: the static-home
+   reassignments carried by MIGRATION transactions in the command log.
+
+The paper's determinism argument makes the logical view authoritative
+(every scheduler replica routes against it), so any divergence from the
+physical stores means a migration was lost, duplicated, or resumed by a
+stale controller — exactly the corruptions the sessioned
+:class:`~repro.engine.migration.MigrationController` exists to prevent.
+Note the cluster's ``state_fingerprint()`` is deliberately *placement
+independent* (it hashes record values and versions only), so a lost
+migration passes fingerprint equality; this auditor is the check that
+catches it.
+
+Run it on a quiescent cluster — mid-flight chunks legitimately have
+records detached from their source and not yet installed at the
+destination.  The chaos harness invokes it at end-of-run, and
+``python -m repro.obs report --audit-placement`` re-runs a recorded
+trace's experiment to audit its final cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.provisioning import ChunkMigration
+from repro.engine.cluster import Cluster
+
+#: Detailed problem lines kept per report; counters stay exact beyond it.
+MAX_PROBLEM_DETAILS = 50
+
+
+@dataclass(slots=True)
+class PlacementAuditReport:
+    """Outcome of one :func:`audit_placement` walk."""
+
+    stores_checked: int = 0
+    keys_checked: int = 0
+    overlay_entries: int = 0
+    migration_txns_seen: int = 0
+    orphaned_records: int = 0
+    """Records physically somewhere the ownership view does not expect."""
+
+    duplicate_records: int = 0
+    problems: list[str] = field(default_factory=list)
+    _suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self._suppressed
+
+    def note(self, problem: str) -> None:
+        """Record a violation, capping the detail lines kept."""
+        if len(self.problems) < MAX_PROBLEM_DETAILS:
+            self.problems.append(problem)
+        else:
+            self._suppressed += 1
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (CLI output)."""
+        lines = [
+            "placement audit: "
+            + ("OK" if self.ok else f"{len(self.problems)} problem(s)"),
+            f"  stores checked:     {self.stores_checked}",
+            f"  records checked:    {self.keys_checked}",
+            f"  overlay entries:    {self.overlay_entries}",
+            f"  migration txns:     {self.migration_txns_seen}",
+            f"  orphaned records:   {self.orphaned_records}",
+            f"  duplicate records:  {self.duplicate_records}",
+        ]
+        lines.extend(f"  ! {problem}" for problem in self.problems)
+        if self._suppressed:
+            lines.append(f"  ! ... and {self._suppressed} more")
+        return "\n".join(lines)
+
+
+def _overlay_snapshot(cluster: Cluster) -> dict:
+    """The overlay's entries without touching its lookup counters.
+
+    ``OwnershipView.owner`` goes through ``overlay.get``, which bumps
+    hit/miss counters and refreshes LRU recency — an audit must not
+    perturb either.  Both bundled overlays (:class:`FusionTable`,
+    :class:`DictOverlay`) expose ``snapshot()``; an overlay without one
+    is treated as empty.
+    """
+    snapshot = getattr(cluster.ownership.overlay, "snapshot", None)
+    return snapshot() if snapshot is not None else {}
+
+
+def audit_placement(
+    cluster: Cluster, expected_total: int | None = None
+) -> PlacementAuditReport:
+    """Cross-check stores against the ownership view and WAL history.
+
+    Invariants checked:
+
+    * every stored record sits at the node the ownership view names
+      (overlay entry if present, else memoized static home);
+    * no record is present in two stores at once;
+    * every overlay entry points at a node that physically holds the
+      record, and never at the record's static home (home entries must
+      be dropped, not stored);
+    * every static-home reassignment in the WAL's MIGRATION history is
+      reflected by the live static map, and the reassigned records still
+      exist somewhere;
+    * optionally, the total record count equals ``expected_total``
+      (conservation — migration moves records, never creates or drops
+      them).
+    """
+    report = PlacementAuditReport()
+    ownership = cluster.ownership
+    entries = _overlay_snapshot(cluster)
+    report.overlay_entries = len(entries)
+
+    # -- physical vs logical ----------------------------------------------
+    located: dict = {}
+    for node in cluster.nodes:
+        report.stores_checked += 1
+        node_id = node.node_id
+        for key in node.store.keys():
+            report.keys_checked += 1
+            if key in located:
+                report.duplicate_records += 1
+                report.note(
+                    f"record {key!r} present at both node {located[key]} "
+                    f"and node {node_id}"
+                )
+                continue
+            located[key] = node_id
+            live = entries.get(key)
+            owner = live if live is not None else ownership.home(key)
+            if owner != node_id:
+                report.orphaned_records += 1
+                report.note(
+                    f"record {key!r} physically at node {node_id} but the "
+                    f"ownership view names node {owner}"
+                )
+
+    # -- overlay hygiene ---------------------------------------------------
+    for key, owner in sorted(entries.items(), key=lambda kv: repr(kv[0])):
+        if ownership.home(key) == owner:
+            report.note(
+                f"overlay stores a home entry: {key!r} -> node {owner}"
+            )
+        where = located.get(key)
+        if where != owner:
+            place = "missing from every store" if where is None else (
+                f"at node {where}"
+            )
+            report.note(
+                f"overlay says {key!r} lives at node {owner} but the "
+                f"record is {place}"
+            )
+
+    # -- WAL-visible migration history ------------------------------------
+    expected_home: dict = {}
+    for _epoch, _txn_id, chunk in cluster.sequenced_migration_chunks():
+        report.migration_txns_seen += 1
+        if not isinstance(chunk, ChunkMigration):
+            continue
+        if chunk.range_reassign is not None:
+            lo, hi = chunk.range_reassign
+            # Last writer wins: chunks are walked in total order.
+            for key in range(lo, hi):
+                expected_home[key] = chunk.dst
+    for key in sorted(expected_home):
+        dst = expected_home[key]
+        if ownership.home(key) != dst:
+            report.note(
+                f"WAL migration history homes key {key} at node {dst} but "
+                f"the static map says node {ownership.home(key)}"
+            )
+        if key not in located:
+            report.note(
+                f"key {key} named by WAL migration history is missing "
+                "from every store"
+            )
+
+    # -- conservation ------------------------------------------------------
+    if expected_total is not None and report.keys_checked != expected_total:
+        report.note(
+            f"record conservation violated: {report.keys_checked} records "
+            f"present, expected {expected_total}"
+        )
+    return report

@@ -22,6 +22,7 @@ consolidation events.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import NodeId
@@ -70,8 +71,26 @@ class ColdMigrationPlan:
     def __len__(self) -> int:
         return len(self.chunks)
 
+    def __iter__(self):
+        return iter(self.chunks)
+
     def total_keys(self) -> int:
         return sum(len(chunk.keys) for chunk in self.chunks)
+
+    def remainder_excluding(
+        self, done: Iterable[ChunkMigration]
+    ) -> "ColdMigrationPlan":
+        """The sub-plan of chunks not in ``done``, in original order.
+
+        Chunks are frozen (hashable) dataclasses, so membership is by
+        value.  Crash recovery uses this to resume a migration from its
+        WAL-visible history: chunks the durable order already contains
+        must not be re-planned under fresh transaction ids.
+        """
+        done_set = frozenset(done)
+        return ColdMigrationPlan(
+            tuple(c for c in self.chunks if c not in done_set)
+        )
 
 
 class HybridMigrationPlanner:

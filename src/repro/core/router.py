@@ -69,6 +69,15 @@ class DictOverlay:
     def __len__(self) -> int:
         return len(self._map)
 
+    def snapshot(self) -> dict[Key, NodeId]:
+        """A copy of the current entries (audits and checkpoints).
+
+        Mirrors :meth:`repro.core.fusion_table.FusionTable.snapshot` so
+        the placement auditor can read any overlay without mutating its
+        recency or hit/miss counters the way ``get`` would.
+        """
+        return dict(self._map)
+
 
 class OwnershipView:
     """Live record placement: overlay over a static partitioner.
@@ -393,9 +402,10 @@ def build_chunk_migration_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
         raise RoutingError(f"migration txn {txn.txn_id} lacks a chunk payload")
 
     chunk_keys = tuple(chunk.keys)
+    owners = view.ownership.owners_bulk(chunk_keys)
     moved = [
         key
-        for key, owner in zip(chunk_keys, view.ownership.owners_bulk(chunk_keys))
+        for key, owner in zip(chunk_keys, owners)
         if owner == chunk.src
     ]
     moved_set = set(moved)
@@ -406,6 +416,14 @@ def build_chunk_migration_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
     ):
         lo, hi = chunk.range_reassign
         view.ownership.static.reassign(lo, hi, chunk.dst)
+        # The re-home turns overlay entries for chunk keys already fused
+        # onto ``dst`` into redundant home entries; drop them so the
+        # overlay keeps only genuinely displaced records.  (Moved keys
+        # get the same cleanup through ``record_move`` below.)
+        overlay = view.ownership.overlay
+        for key, owner in zip(chunk_keys, owners):
+            if owner == chunk.dst and key not in moved_set:
+                overlay.remove(key)
     evictions: list[Migration] = []
     for key in moved:
         # After a static reassign the destination usually *is* the new

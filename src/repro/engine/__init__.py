@@ -13,7 +13,11 @@ The top-level entry point is :class:`Cluster`.
 
 from repro.engine.cluster import Cluster
 from repro.engine.locks import LockManager, LockMode
-from repro.engine.migration import MigrationController
+from repro.engine.migration import (
+    MigrationController,
+    MigrationSession,
+    MigrationState,
+)
 from repro.engine.node import Node, WorkerPool
 from repro.engine.ollp import OLLP, DependentTxnSpec
 from repro.engine.recovery import (
@@ -32,6 +36,8 @@ __all__ = [
     "LockMode",
     "DependentTxnSpec",
     "MigrationController",
+    "MigrationSession",
+    "MigrationState",
     "Node",
     "OLLP",
     "ReplicatedDeployment",

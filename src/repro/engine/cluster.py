@@ -118,6 +118,17 @@ class Cluster:
         self._next_txn_id += 1
         return self._next_txn_id
 
+    def set_txn_id_floor(self, floor: int) -> None:
+        """Reserve ids ``<= floor`` for externally minted transactions.
+
+        Harnesses that pre-mint workload schedules (the chaos suite)
+        number those transactions themselves; bumping the floor keeps
+        :meth:`next_txn_id` — used by migration chunks and OLLP retries —
+        out of that range so commit callbacks never collide.  Never
+        lowers the counter.
+        """
+        self._next_txn_id = max(self._next_txn_id, floor)
+
     def submit(
         self, txn: Transaction, on_commit: Callable[[TxnRuntime], None] | None = None
     ) -> None:
@@ -341,6 +352,25 @@ class Cluster:
     def total_records(self) -> int:
         """Records across all stores (conservation check)."""
         return sum(len(node.store) for node in self.nodes)
+
+    def sequenced_migration_chunks(self) -> list[tuple[int, int, object]]:
+        """``(epoch, txn_id, chunk)`` for every MIGRATION transaction in
+        the WAL-visible total order, oldest first.
+
+        Requires ``keep_command_log=True`` (returns ``[]`` otherwise).
+        This is the durable migration history the placement auditor
+        cross-checks and crash recovery resumes from: a chunk present
+        here survived the crash by definition, so a resumed plan must
+        exclude it.
+        """
+        if self.command_log is None:
+            return []
+        chunks: list[tuple[int, int, object]] = []
+        for batch in self.command_log:
+            for txn in batch:
+                if txn.kind is TxnKind.MIGRATION and txn.payload is not None:
+                    chunks.append((batch.epoch, txn.txn_id, txn.payload))
+        return chunks
 
     def checkpoint(self) -> Checkpoint:
         """Capture a consistent snapshot tagged with the last epoch.

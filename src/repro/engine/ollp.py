@@ -68,6 +68,9 @@ class OLLP:
         self.recon_reads = 0
         self.restarts = 0
         self.completed = 0
+        #: specs that exhausted their restart budget (deterministic
+        #: outcome, not an exception — see :meth:`submit`).
+        self.failed = 0
 
     # -- reconnaissance ----------------------------------------------------
 
@@ -96,9 +99,22 @@ class OLLP:
         self,
         spec: DependentTxnSpec,
         on_commit: Callable | None = None,
+        on_fail: Callable | None = None,
         _attempt: int = 0,
     ) -> Transaction:
-        """Recon the footprint and submit; retries on stale predictions."""
+        """Recon the footprint and submit; retries on stale predictions.
+
+        A spec whose footprint keeps moving for ``max_restarts + 1``
+        attempts is a legitimate, deterministic outcome of the workload —
+        every replica exhausts at the same point in the total order.  It
+        therefore must not raise: the exhaustion callback runs *inside*
+        kernel dispatch (mid-commit of the final aborted attempt), and an
+        exception there unwinds the event loop and corrupts engine state.
+        Instead the :attr:`failed` counter increments, an
+        ``ollp_exhausted`` trace instant is emitted, and ``on_fail(spec,
+        runtime)`` — if given — is invoked with the final aborted
+        runtime.
+        """
         predicted = spec.resolve(self._peek)
         reads, writes = predicted
 
@@ -118,11 +134,19 @@ class OLLP:
         def finished(runtime) -> None:
             if runtime.aborted:
                 if _attempt >= self.max_restarts:
-                    raise SimulationError(
-                        f"OLLP gave up after {self.max_restarts} restarts"
-                    )
+                    self.failed += 1
+                    tracer = self.cluster.tracer
+                    if tracer is not None:
+                        tracer.instant(
+                            "exec", "ollp_exhausted", txn=txn.txn_id,
+                            attempts=_attempt + 1,
+                        )
+                    if on_fail is not None:
+                        on_fail(spec, runtime)
+                    return
                 self.restarts += 1
-                self.submit(spec, on_commit=on_commit, _attempt=_attempt + 1)
+                self.submit(spec, on_commit=on_commit, on_fail=on_fail,
+                            _attempt=_attempt + 1)
             else:
                 self.completed += 1
                 if on_commit is not None:

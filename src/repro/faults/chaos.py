@@ -34,12 +34,18 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.analysis.placement_audit import (
+    PlacementAuditReport,
+    audit_placement,
+)
 from repro.common.config import ClusterConfig
 from repro.common.errors import FaultInjectionError
 from repro.common.rng import DeterministicRNG
-from repro.common.types import Transaction, TxnId
+from repro.common.types import Transaction, TxnId, TxnKind
 from repro.core import PrescientRouter
+from repro.core.provisioning import ChunkMigration, ColdMigrationPlan
 from repro.engine.cluster import Cluster
+from repro.engine.migration import MigrationController
 from repro.engine.recovery import DurableState, recover_from_crash
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -310,6 +316,415 @@ def verify_trial(
     if extra:
         problems.append(f"{len(extra)} txns applied that reference lacks")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Mid-migration chaos: crash / cancel-restart / pause-resume scenarios
+# ---------------------------------------------------------------------------
+
+#: Scenario names :func:`run_migration_trial` understands.
+MIGRATION_SCENARIOS = ("crash", "cancel-restart", "pause-resume")
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationChaosConfig:
+    """One mid-migration chaos experiment: a foreground workload plus a
+    background range migration disrupted at ``event_at_us``.
+
+    ``txn_id_base`` reserves the low id range for the pre-minted
+    workload schedule so migration-chunk ids (minted live via
+    ``Cluster.next_txn_id``) never collide with it — the collision would
+    silently merge commit callbacks.
+    """
+
+    num_nodes: int = 4
+    num_keys: int = 1_500
+    num_txns: int = 80
+    mean_gap_us: float = 500.0
+    trace_duration_s: float = 30.0
+    max_time_us: float = 120_000_000.0
+
+    migrate_src: int = 0
+    migrate_dst: int = 3
+    migrate_lo: int = 0
+    migrate_hi: int = 300
+    chunk_records: int = 50
+    migration_start_us: float = 4_000.0
+    event_at_us: float = 50_000.0
+    """When the disruption (crash / cancel / pause) strikes."""
+
+    resume_at_us: float = 100_000.0
+    """When a cancelled plan restarts or a paused one resumes."""
+
+    txn_id_base: int = 1_000_000
+
+    @property
+    def chaos(self) -> ChaosConfig:
+        """The plain workload shape (for :func:`make_schedule`)."""
+        return ChaosConfig(
+            num_nodes=self.num_nodes,
+            num_keys=self.num_keys,
+            num_txns=self.num_txns,
+            mean_gap_us=self.mean_gap_us,
+            trace_duration_s=self.trace_duration_s,
+            max_time_us=self.max_time_us,
+        )
+
+
+#: The CI smoke shape: one crash mid-migration, small enough for tier 1.
+SMOKE_MIGRATION_CONFIG = MigrationChaosConfig()
+
+
+@dataclass(slots=True)
+class MigrationTrialResult:
+    """Outcome of one mid-migration run (reference or trial)."""
+
+    fingerprint: int
+    applied: frozenset[TxnId]
+    audit: PlacementAuditReport
+    controller_stats: dict[str, int]
+    scenario_engaged: bool = True
+    """False when the disruption fired after the migration had already
+    finished — the run is still verified, but did not exercise the
+    mid-migration path."""
+
+    crashed: bool = False
+    recovery_offset_us: float = 0.0
+    problems: list[str] = field(default_factory=list)
+
+
+def make_migration_cluster_builder(
+    config: MigrationChaosConfig,
+) -> Callable[[], Cluster]:
+    """Identical fresh clusters with the workload id range reserved."""
+    cluster_config = ClusterConfig(num_nodes=config.num_nodes)
+
+    def build() -> Cluster:
+        cluster = Cluster(
+            cluster_config,
+            PrescientRouter(cluster_config.routing),
+            make_uniform_ranges(config.num_keys, config.num_nodes),
+            keep_command_log=True,
+        )
+        cluster.load_data(range(config.num_keys))
+        cluster.set_txn_id_floor(config.txn_id_base)
+        return cluster
+
+    return build
+
+
+def make_migration_plan(config: MigrationChaosConfig) -> ColdMigrationPlan:
+    """Chunk the configured key range (with static-home reassignment)."""
+    chunks = []
+    for start in range(
+        config.migrate_lo, config.migrate_hi, config.chunk_records
+    ):
+        stop = min(start + config.chunk_records, config.migrate_hi)
+        chunks.append(
+            ChunkMigration(
+                src=config.migrate_src,
+                dst=config.migrate_dst,
+                keys=tuple(range(start, stop)),
+                range_reassign=(start, stop),
+            )
+        )
+    return ColdMigrationPlan(tuple(chunks))
+
+
+def _controller_stats(*controllers: MigrationController) -> dict[str, int]:
+    return {
+        "sessions": sum(len(c.sessions) for c in controllers),
+        "submitted": sum(c.chunks_submitted for c in controllers),
+        "committed": sum(c.chunks_committed for c in controllers),
+        "orphaned": sum(c.chunks_orphaned for c in controllers),
+        "records_moved": sum(c.records_moved for c in controllers),
+        "bytes_on_wire": sum(c.bytes_on_wire for c in controllers),
+    }
+
+
+def run_migration_reference(
+    config: MigrationChaosConfig,
+    schedule: list[tuple[float, Transaction]],
+    build_cluster: Callable[[], Cluster],
+) -> MigrationTrialResult:
+    """Workload plus undisturbed migration; ground truth for trials."""
+    cluster = build_cluster()
+    controller = MigrationController(cluster)
+    plan = make_migration_plan(config)
+    applied: set[TxnId] = set()
+    _track_applied(cluster, applied)
+    _submit_schedule(cluster, schedule)
+    cluster.kernel.call_at(
+        config.migration_start_us, controller.start, plan
+    )
+    cluster.run_until_quiescent(config.max_time_us)
+    problems = _postconditions(cluster)
+    if controller.active:
+        problems.append("reference migration never finished")
+    return MigrationTrialResult(
+        fingerprint=cluster.state_fingerprint(),
+        applied=frozenset(applied),
+        audit=audit_placement(cluster, expected_total=config.num_keys),
+        controller_stats=_controller_stats(controller),
+        problems=problems,
+    )
+
+
+def run_migration_trial(
+    config: MigrationChaosConfig,
+    schedule: list[tuple[float, Transaction]],
+    build_cluster: Callable[[], Cluster],
+    scenario: str,
+) -> MigrationTrialResult:
+    """Run the workload with the migration disrupted mid-flight.
+
+    Scenarios:
+
+    * ``"cancel-restart"`` — ``cancel()`` at ``event_at_us`` (capturing
+      the unsubmitted remainder), then ``start()`` a fresh session on
+      that remainder at ``resume_at_us``.  The in-flight chunk's commit
+      callback arrives for the cancelled generation and must be dropped
+      as an orphan, never resumed — the stale-callback bug this PR's
+      controller rewrite fixes.
+    * ``"pause-resume"`` — ``pause()`` at ``event_at_us``, ``resume()``
+      at ``resume_at_us``; same session throughout.
+    * ``"crash"`` — the execution tier dies at ``event_at_us``; a fresh
+      cluster replays the durable order, then a *new* controller resumes
+      the plan minus every chunk the durable order already contains
+      (logged, sequenced-in-flight, or backlogged — those re-execute by
+      replay or resubmission and must not be re-planned).
+
+    All three must converge to the reference fingerprint and applied
+    set, and pass the placement auditor with zero orphaned records.
+    """
+    if scenario not in MIGRATION_SCENARIOS:
+        raise FaultInjectionError(f"unknown migration scenario {scenario!r}")
+    if scenario == "crash":
+        return _run_migration_crash_trial(config, schedule, build_cluster)
+
+    cluster = build_cluster()
+    controller = MigrationController(cluster)
+    plan = make_migration_plan(config)
+    applied: set[TxnId] = set()
+    _track_applied(cluster, applied)
+    _submit_schedule(cluster, schedule)
+    cluster.kernel.call_at(
+        config.migration_start_us, controller.start, plan
+    )
+    engaged = {"fired": False}
+    holder: dict[str, list[ChunkMigration]] = {}
+
+    if scenario == "cancel-restart":
+
+        def disrupt() -> None:
+            if controller.active:
+                engaged["fired"] = True
+                holder["remainder"] = controller.cancel()
+
+        def recover() -> None:
+            remainder = holder.get("remainder")
+            if remainder:
+                controller.start(ColdMigrationPlan(tuple(remainder)))
+
+    else:  # pause-resume
+
+        def disrupt() -> None:
+            session = controller.session
+            if session is not None and session.state.value == "running":
+                engaged["fired"] = True
+                controller.pause()
+
+        def recover() -> None:
+            if engaged["fired"]:
+                controller.resume()
+
+    cluster.kernel.call_at(config.event_at_us, disrupt)
+    cluster.kernel.call_at(config.resume_at_us, recover)
+    cluster.run_until_quiescent(config.max_time_us)
+    if cluster.kernel.now < config.resume_at_us:
+        # Quiescence only tracks submitted work: a cluster that drains
+        # while cancelled/paused looks idle before the recovery timer
+        # fires.  Step past it, then drain the restarted migration.
+        cluster.run_until(config.resume_at_us)
+        cluster.run_until_quiescent(config.max_time_us)
+    problems = _postconditions(cluster)
+    if controller.active:
+        problems.append(f"{scenario} migration never finished")
+    return MigrationTrialResult(
+        fingerprint=cluster.state_fingerprint(),
+        applied=frozenset(applied),
+        audit=audit_placement(cluster, expected_total=config.num_keys),
+        controller_stats=_controller_stats(controller),
+        scenario_engaged=engaged["fired"],
+        problems=problems,
+    )
+
+
+def _durable_migration_chunks(durable: DurableState) -> set[ChunkMigration]:
+    """Every chunk the durable order will (re-)execute by itself."""
+    survived: set[ChunkMigration] = set()
+    batches = list(durable.command_log)
+    batches.extend(batch for _cut, batch in durable.in_flight)
+    for batch in batches:
+        for txn in batch:
+            if txn.kind is TxnKind.MIGRATION and isinstance(
+                txn.payload, ChunkMigration
+            ):
+                survived.add(txn.payload)
+    for txn in durable.backlog_priority + durable.backlog_pending:
+        if txn.kind is TxnKind.MIGRATION and isinstance(
+            txn.payload, ChunkMigration
+        ):
+            survived.add(txn.payload)
+    return survived
+
+
+def _run_migration_crash_trial(
+    config: MigrationChaosConfig,
+    schedule: list[tuple[float, Transaction]],
+    build_cluster: Callable[[], Cluster],
+) -> MigrationTrialResult:
+    crash_at = config.event_at_us
+    if crash_at >= config.max_time_us:
+        raise FaultInjectionError("crash scheduled after the drain budget")
+    cluster = build_cluster()
+    controller = MigrationController(cluster)
+    plan = make_migration_plan(config)
+    applied: set[TxnId] = set()
+    _track_applied(cluster, applied)
+    _submit_schedule(cluster, schedule)
+    cluster.kernel.call_at(
+        config.migration_start_us, controller.start, plan
+    )
+    cluster.run_until(crash_at)
+    engaged = controller.active
+    durable = DurableState.capture(cluster)
+    pre_crash_applied = set(applied)
+    problems: list[str] = []
+    not_durable = pre_crash_applied - durable.sequenced_txn_ids()
+    if not_durable:
+        problems.append(
+            f"{len(not_durable)} applied txns missing from durable order"
+        )
+
+    # The execution tier is gone; rebuild from the durable tier.  The
+    # resumed plan excludes chunks the durable order carries: replay
+    # re-executes logged ones, re-delivery commits the in-flight batch,
+    # and backlog resubmission re-sequences the rest under their
+    # original ids.
+    recovered = recover_from_crash(
+        build_cluster, durable, max_time_us=config.max_time_us
+    )
+    replay_end = recovered.kernel.now
+    epoch_us = recovered.config.engine.epoch_us
+    whole_epochs = math.floor((replay_end - crash_at) / epoch_us) + 1
+    offset = max(0, whole_epochs) * epoch_us
+
+    post_applied: set[TxnId] = set()
+    _track_applied(recovered, post_applied)
+    for txn in durable.backlog_priority + durable.backlog_pending:
+        recovered.kernel.call_at(crash_at + offset, recovered.submit, txn)
+    latency = recovered.config.costs.sequencer_latency_us
+    for cut_time, batch in durable.in_flight:
+        recovered.kernel.call_at(
+            cut_time + latency + offset,
+            recovered.inject_batch_ordered,
+            batch,
+        )
+    _submit_schedule(recovered, schedule, after_us=crash_at, offset_us=offset)
+
+    resumed = MigrationController(recovered)
+    remainder = plan.remainder_excluding(_durable_migration_chunks(durable))
+    if remainder.chunks:
+        recovered.kernel.call_at(
+            crash_at + offset, resumed.start, remainder
+        )
+    recovered.run_until_quiescent(config.max_time_us + offset)
+
+    logged: set[TxnId] = set()
+    for batch in durable.command_log:
+        logged.update(batch.ids())
+    final_applied = logged | post_applied
+    lost = pre_crash_applied - final_applied
+    if lost:
+        problems.append(f"{len(lost)} pre-crash applied txns lost")
+    problems.extend(_postconditions(recovered))
+    if resumed.active:
+        problems.append("resumed migration never finished")
+    return MigrationTrialResult(
+        fingerprint=recovered.state_fingerprint(),
+        applied=frozenset(final_applied),
+        audit=audit_placement(recovered, expected_total=config.num_keys),
+        controller_stats=_controller_stats(controller, resumed),
+        scenario_engaged=engaged,
+        crashed=True,
+        recovery_offset_us=offset,
+        problems=problems,
+    )
+
+
+def verify_migration_trial(
+    trial: MigrationTrialResult, reference: MigrationTrialResult
+) -> list[str]:
+    """Every way a mid-migration trial deviates from the reference.
+
+    Empty list == pass: identical final state and applied set, a clean
+    placement audit on both sides, and all in-run invariants held.
+    """
+    problems = list(trial.problems)
+    if trial.fingerprint != reference.fingerprint:
+        problems.append(
+            f"fingerprint mismatch: {trial.fingerprint:#x} != "
+            f"{reference.fingerprint:#x}"
+        )
+    lost = reference.applied - trial.applied
+    if lost:
+        problems.append(f"{len(lost)} reference txns never applied")
+    extra = trial.applied - reference.applied
+    if extra:
+        problems.append(f"{len(extra)} txns applied that reference lacks")
+    for name, report in (("trial", trial.audit), ("reference",
+                                                  reference.audit)):
+        if not report.ok:
+            problems.extend(
+                f"{name} placement audit: {p}" for p in report.problems
+            )
+        if report.orphaned_records:
+            problems.append(
+                f"{name} has {report.orphaned_records} orphaned records"
+            )
+    return problems
+
+
+def migration_trial_digest(
+    config: MigrationChaosConfig, scenario: str, seed: int = 21
+) -> str:
+    """Combined sanitizer digest of one mid-migration trial.
+
+    Runs the trial with a :class:`StreamDigest` attached to every kernel
+    it creates and folds the per-kernel digests (in creation order) into
+    one hex string.  Two runs of the same (config, scenario, seed) — in
+    the same process or across processes with different
+    ``PYTHONHASHSEED`` — must print the same value; CI's dual-replay
+    compare diffs exactly this.
+    """
+    import hashlib
+
+    from repro.sanitize.digest import capture_digests
+
+    schedule = make_schedule(config.chaos, seed)
+    build = make_migration_cluster_builder(config)
+    with capture_digests() as digests:
+        run_migration_trial(config, schedule, build, scenario)
+    folded = hashlib.blake2b(digest_size=16)
+    for digest in digests:
+        folded.update(f"{digest.count}:{digest.hexdigest()};".encode())
+    return folded.hexdigest()
+
+
+def smoke_migration_digest() -> str:
+    """The CI smoke digest: one crash-during-migration trial."""
+    return migration_trial_digest(SMOKE_MIGRATION_CONFIG, "crash")
 
 
 def _postconditions(cluster: Cluster) -> list[str]:

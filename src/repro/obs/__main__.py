@@ -47,6 +47,59 @@ def _print_report(events: list[dict], top: int) -> None:
     print(format_stage_flame(events))
 
 
+def _audit_cluster(cluster) -> int:
+    """Print a placement audit of a live cluster; 1 on violations.
+
+    Figure presets cut the simulation at the duration mark without
+    draining (throughput-over-time figures measure a running system),
+    so the kept cluster can hold mid-flight chunks whose records are
+    legitimately detached.  The audit is only defined at quiescence —
+    drain first (deterministic: the drivers stopped at the mark, so
+    this just lets in-flight work land).
+    """
+    from repro.analysis.placement_audit import audit_placement
+
+    if cluster.inflight:
+        pending = cluster.inflight
+        drained_at = cluster.run_until_quiescent(cluster.kernel.now * 2)
+        print(f"\ndrained {pending} in-flight txns by "
+              f"t={drained_at / 1e6:.3f}s for the audit")
+        if cluster.inflight:
+            print(f"warning: {cluster.inflight} txns never drained",
+                  file=sys.stderr)
+    report = audit_placement(cluster)
+    print()
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _rerun_and_audit(
+    preset: str, seed: int, strategy: str, duration_s: float | None
+) -> int:
+    """Deterministically re-run a recorded experiment and audit it.
+
+    The trace file only carries events, not the final stores, but the
+    simulation is a pure function of (preset, seed, strategy, duration)
+    — re-running with ``keep_cluster=True`` reproduces the exact cluster
+    the recording ended with.
+    """
+    from repro.api import preset_spec, run_experiment
+
+    spec = preset_spec(preset, seed=seed, jobs=None)
+    if duration_s is not None:
+        spec = spec.with_overrides(duration_s=duration_s)
+    spec = spec.with_overrides(strategies=(strategy,), keep_cluster=True)
+    print(f"re-running {preset} / {strategy} (seed {seed}) for the audit ...")
+    results = run_experiment(spec)
+    result = results[0] if isinstance(results, list) else results
+    cluster = result.extras.get("cluster")
+    if cluster is None:
+        print("error: experiment did not retain its cluster",
+              file=sys.stderr)
+        return 2
+    return _audit_cluster(cluster)
+
+
 def _record(args: argparse.Namespace) -> int:
     from repro.api import preset_spec, run_experiment
 
@@ -62,6 +115,8 @@ def _record(args: argparse.Namespace) -> int:
     tracer = Tracer(preset=args.preset, seed=args.seed, strategy=strategy,
                     duration_s=spec.duration_s)
     spec = spec.with_overrides(strategies=(strategy,), trace=tracer)
+    if args.audit_placement:
+        spec = spec.with_overrides(keep_cluster=True)
 
     print(f"recording {args.preset} / {strategy} (seed {args.seed}) ...")
     results = run_experiment(spec)
@@ -79,6 +134,13 @@ def _record(args: argparse.Namespace) -> int:
           f"mean latency {result.mean_latency_us / 1000:,.2f}ms")
     print()
     _print_report(tracer.events, args.top)
+    if args.audit_placement:
+        cluster = result.extras.get("cluster")
+        if cluster is None:
+            print("error: experiment did not retain its cluster",
+                  file=sys.stderr)
+            return 2
+        return _audit_cluster(cluster)
     return 0
 
 
@@ -88,6 +150,16 @@ def _report(args: argparse.Namespace) -> int:
         described = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
         print(f"trace {args.trace}: {described}")
     _print_report(events, args.top)
+    if args.audit_placement:
+        missing = [k for k in ("preset", "seed", "strategy") if k not in meta]
+        if missing:
+            print(f"error: trace meta lacks {', '.join(missing)}; cannot "
+                  "re-run for the placement audit", file=sys.stderr)
+            return 2
+        return _rerun_and_audit(
+            meta["preset"], int(meta["seed"]), meta["strategy"],
+            meta.get("duration_s"),
+        )
     return 0
 
 
@@ -110,10 +182,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write a Chrome trace_event JSON")
     record.add_argument("--top", type=int, default=10,
                         help="lock-wait chains to print")
+    record.add_argument("--audit-placement", action="store_true",
+                        help="audit final record placement against the "
+                             "ownership view and WAL migration history")
 
     report = sub.add_parser("report", help="analyze a recorded JSONL trace")
     report.add_argument("trace")
     report.add_argument("--top", type=int, default=10)
+    report.add_argument("--audit-placement", action="store_true",
+                        help="re-run the recorded experiment and audit "
+                             "its final record placement")
 
     args = parser.parse_args(argv)
     if args.command == "record":

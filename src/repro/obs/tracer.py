@@ -264,6 +264,18 @@ class Tracer:
     def migration(self, phase: str, **args: Any) -> None:
         self.instant("mig", phase, **args)
 
+    def migration_session(
+        self, session: int, state: str, start_us: float, **stats: Any
+    ) -> None:
+        """One whole migration session as a span (its own Perfetto track).
+
+        Emitted on the session's terminal transition (DONE/CANCELLED),
+        spanning from ``start()`` to the current simulated time, with the
+        per-session counters attached as args.
+        """
+        self.span("mig", "migration_session", start_us, session=session,
+                  state=state, **stats)
+
     def fault(self, state: str, event: Any) -> None:
         self.instant("fault", state, kind=type(event).__name__,
                      detail=repr(event))

@@ -73,6 +73,39 @@ class TestLRUEviction:
         assert evicted == [("a", 7)]
 
 
+class TestDuplicatePut:
+    """Re-fusing an already-tracked key updates in place: it must count
+    as one insert and refresh recency, not create a phantom entry."""
+
+    def test_duplicate_put_counts_one_insert(self):
+        table = FusionTable(FusionConfig(capacity=10))
+        table.put("a", 1)
+        table.put("a", 2)
+        assert table.inserts_total == 1
+        assert table.get("a") == 2
+        assert len(table) == 1
+
+    def test_duplicate_put_refreshes_recency(self):
+        table = FusionTable(FusionConfig(capacity=2, eviction="lru"))
+        table.put("a", 1)
+        table.put("b", 2)
+        table.put("a", 3)  # re-fuse "a": now most recent
+        evicted = table.put("c", 4)
+        assert evicted == [("b", 2)]
+        assert "a" in table
+        assert table.inserts_total == 3  # a, b, c — not the re-put
+
+    def test_eviction_after_update_reports_latest_owner(self):
+        """The evicted pair names where the record *currently* lives —
+        the updated owner, not the one from the first put."""
+        table = FusionTable(FusionConfig(capacity=1))
+        table.put("a", 7)
+        table.put("a", 9)
+        evicted = table.put("b", 3)
+        assert evicted == [("a", 9)]
+        assert table.evictions_total == 1
+
+
 class TestProvisioningHelpers:
     def test_owners_of_node(self):
         table = FusionTable()

@@ -2,21 +2,28 @@
 
 import pytest
 
+from repro.analysis.placement_audit import audit_placement
 from repro.common.config import ClusterConfig, EngineConfig, FusionConfig
+from repro.common.errors import ConfigurationError
 from repro.common.types import Transaction
 from repro.core.fusion_table import FusionTable
 from repro.core.prescient import PrescientRouter
-from repro.core.provisioning import HybridMigrationPlanner
+from repro.core.provisioning import ColdMigrationPlan, HybridMigrationPlanner
 from repro.baselines.calvin import CalvinRouter
 from repro.baselines.squall import SquallExecutor
 from repro.engine.cluster import Cluster
-from repro.engine.migration import MigrationController
+from repro.engine.migration import (
+    MigrationController,
+    MigrationSession,
+    MigrationState,
+)
+from repro.obs.tracer import Tracer
 from repro.storage.partitioning import make_uniform_ranges
 
 NUM_KEYS = 400
 
 
-def build(router, num_nodes=4, active=None, overlay=None):
+def build(router, num_nodes=4, active=None, overlay=None, tracer=None):
     config = ClusterConfig(
         num_nodes=num_nodes,
         engine=EngineConfig(
@@ -33,9 +40,17 @@ def build(router, num_nodes=4, active=None, overlay=None):
         overlay=overlay,
         active_nodes=active,
         validate_plans=True,
+        tracer=tracer,
     )
     cluster.load_data(range(NUM_KEYS))
     return cluster
+
+
+def run_until_true(cluster, predicate, step_us=100.0, limit_us=60_000_000.0):
+    """Advance in small steps until ``predicate()`` holds (or fail)."""
+    while not predicate():
+        assert cluster.kernel.now < limit_us, "predicate never became true"
+        cluster.run_until(cluster.kernel.now + step_us)
 
 
 class TestSquallExecutor:
@@ -158,3 +173,204 @@ class TestHermesScaleOut:
         assert cluster.view.active_nodes == [0, 1, 2, 3]
         # With balancing on, some transactions route to the new node.
         assert cluster.nodes[3].commits > 0
+
+
+def mig_events(tracer, name):
+    return [e for e in tracer.events
+            if e["cat"] == "mig" and e["name"] == name]
+
+
+class TestStaleCallbackRegression:
+    """The bugs this PR fixes: callbacks of a dead plan must never
+    resume it after cancel() + start(new_plan)."""
+
+    def test_cancel_restart_drops_stale_chunk_callback(self):
+        """An in-sequencer chunk of a cancelled plan commits *after* a new
+        plan started.  Pre-fix, its commit callback resumed the cancelled
+        remainder interleaved with the new plan (10 submissions, keys
+        10..50 migrated anyway); post-fix it is orphaned."""
+        tracer = Tracer()
+        cluster = build(CalvinRouter(), tracer=tracer)
+        executor = SquallExecutor(cluster, chunk_records=10)
+        controller = executor.controller
+
+        plan1 = executor.plan_range(0, 3, 0, 50)
+        session1 = controller.start(plan1)
+        # Let chunk 1 reach the sequencer but not the epoch cut.
+        cluster.run_until(cluster.kernel.now + 100.0)
+        assert session1.in_flight == 1
+        remainder = controller.cancel()
+        assert len(remainder) == 4
+
+        # Immediately start the reverse plan; chunk 1 of plan1 is still
+        # in the sequencer and will commit mid-way through plan2.
+        plan2 = executor.plan_range(3, 0, 0, 50)
+        session2 = controller.start(plan2)
+        cluster.run_until_quiescent(60_000_000)
+
+        assert controller.chunks_submitted == 6  # 1 (plan1) + 5 (plan2)
+        assert session1.chunks_orphaned == 1
+        assert session1.chunks_committed == 0
+        assert session2.chunks_committed == 5
+        assert session2.chunks_orphaned == 0
+        assert len(mig_events(tracer, "chunk_orphaned")) == 1
+        # The cancelled remainder (keys 10..50) never moved off node 0.
+        placement = cluster.placement_snapshot()
+        assert all(k in placement[0] for k in range(50))
+        report = audit_placement(cluster, expected_total=NUM_KEYS)
+        assert report.ok, report.describe()
+
+    def test_cancel_during_gap_window_disarms_timer(self):
+        """cancel() between a chunk commit and its ``kernel.call_later``
+        gap wakeup.  Pre-fix the pending timer fired after the restart
+        and resubmitted the cancelled plan's chunk 2."""
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster, chunk_records=10)
+        controller = executor.controller
+
+        session1 = controller.start(executor.plan_range(0, 3, 0, 50))
+        run_until_true(cluster, lambda: session1.chunks_committed >= 1)
+        # The 1ms gap timer for chunk 2 is now pending.
+        assert session1.in_flight == 0
+        remainder = controller.cancel()
+        assert len(remainder) == 4
+
+        session2 = controller.start(executor.plan_range(3, 0, 0, 10))
+        cluster.run_until_quiescent(60_000_000)
+
+        assert controller.chunks_submitted == 2  # one per plan
+        assert controller.chunks_orphaned == 0
+        assert session2.state is MigrationState.DONE
+        # Plan1's chunk 2 (keys 10..20) was never submitted: still home.
+        placement = cluster.placement_snapshot()
+        assert all(k in placement[0] for k in range(10, 50))
+        assert cluster.ownership.static.home(15) == 0
+        report = audit_placement(cluster, expected_total=NUM_KEYS)
+        assert report.ok, report.describe()
+
+
+class TestCancelSemantics:
+    def test_cancel_without_migration_is_traced_noop(self):
+        tracer = Tracer()
+        cluster = build(CalvinRouter(), tracer=tracer)
+        controller = MigrationController(cluster)
+        assert controller.cancel() == []
+        assert controller.sessions == []
+        assert not controller.active
+        assert len(mig_events(tracer, "migration_cancel_noop")) == 1
+        assert mig_events(tracer, "migration_cancelled") == []
+
+    def test_cancel_after_completion_is_noop(self):
+        tracer = Tracer()
+        cluster = build(CalvinRouter(), tracer=tracer)
+        executor = SquallExecutor(cluster, chunk_records=10)
+        session = executor.controller.start(executor.plan_range(0, 3, 0, 20))
+        cluster.run_until_quiescent(60_000_000)
+        assert session.state is MigrationState.DONE
+        assert executor.controller.cancel() == []
+        assert session.state is MigrationState.DONE
+        assert len(mig_events(tracer, "migration_cancel_noop")) == 1
+
+
+class TestPauseResume:
+    def test_pause_holds_unsubmitted_chunks(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster, chunk_records=10)
+        controller = executor.controller
+        session = controller.start(executor.plan_range(0, 3, 0, 50))
+        run_until_true(cluster, lambda: session.chunks_committed >= 1)
+
+        controller.pause()
+        assert session.state is MigrationState.PAUSED
+        submitted = session.chunks_submitted
+        cluster.run_until(cluster.kernel.now + 50_000.0)
+        assert session.chunks_submitted == submitted  # held while paused
+
+        controller.resume()
+        cluster.run_until_quiescent(60_000_000)
+        assert session.state is MigrationState.DONE
+        assert session.chunks_submitted == 5
+        assert session.chunks_orphaned == 0
+        placement = cluster.placement_snapshot()
+        assert all(k in placement[3] for k in range(50))
+        report = audit_placement(cluster, expected_total=NUM_KEYS)
+        assert report.ok, report.describe()
+
+    def test_resume_with_explicit_remainder(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster, chunk_records=10)
+        controller = executor.controller
+        session = controller.start(executor.plan_range(0, 3, 0, 50))
+        run_until_true(cluster, lambda: session.chunks_committed >= 1)
+        controller.pause()
+
+        keep, dropped = session.remaining[:1], session.remaining[1:]
+        assert len(dropped) == 3
+        controller.resume(keep)
+        cluster.run_until_quiescent(60_000_000)
+
+        assert session.state is MigrationState.DONE
+        assert session.chunks_submitted == 2
+        placement = cluster.placement_snapshot()
+        for chunk in dropped:  # the dropped tail never moved
+            assert all(k in placement[0] for k in chunk.keys)
+        report = audit_placement(cluster, expected_total=NUM_KEYS)
+        assert report.ok, report.describe()
+
+
+class TestTransitionGuards:
+    def test_pause_requires_running(self):
+        controller = MigrationController(build(CalvinRouter()))
+        with pytest.raises(ConfigurationError):
+            controller.pause()
+
+    def test_resume_requires_paused(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster, chunk_records=10)
+        executor.controller.start(executor.plan_range(0, 3, 0, 20))
+        with pytest.raises(ConfigurationError):
+            executor.controller.resume()
+
+    def test_illegal_direct_transition_rejected(self):
+        cluster = build(CalvinRouter())
+        plan = ColdMigrationPlan(())
+        session = MigrationSession(1, plan, cluster)
+        with pytest.raises(ConfigurationError):
+            session.transition(MigrationState.DONE)  # PLANNING -> DONE
+
+
+class TestSessionAudit:
+    def test_generations_monotonic_history_recorded(self):
+        cluster = build(CalvinRouter())
+        executor = SquallExecutor(cluster, chunk_records=10)
+        controller = executor.controller
+        s1 = controller.start(executor.plan_range(0, 3, 0, 10))
+        cluster.run_until_quiescent(60_000_000)
+        s2 = controller.start(executor.plan_range(3, 0, 0, 10))
+        cluster.run_until_quiescent(60_000_000)
+
+        assert (s1.generation, s2.generation) == (1, 2)
+        assert [state for _t, state in s1.history] == [
+            "planning", "running", "draining", "done"
+        ]
+        assert s1.ended_at_us is not None
+        assert controller.chunks_submitted == 2  # cumulative over sessions
+        assert controller.chunks_committed == 2
+
+    def test_terminal_session_emits_span_with_stats(self):
+        tracer = Tracer()
+        cluster = build(CalvinRouter(), tracer=tracer)
+        executor = SquallExecutor(cluster, chunk_records=10)
+        executor.controller.start(executor.plan_range(0, 3, 0, 20))
+        cluster.run_until_quiescent(60_000_000)
+
+        spans = [e for e in tracer.events
+                 if e["name"] == "migration_session" and e["ph"] == "X"]
+        assert len(spans) == 1
+        args = spans[0]["args"]
+        assert args["state"] == "done"
+        assert args["session"] == 1
+        assert args["chunks_submitted"] == 2
+        assert args["chunks_committed"] == 2
+        assert args["records_moved"] == 20
+        assert args["bytes_on_wire"] > 0

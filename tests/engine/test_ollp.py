@@ -159,3 +159,78 @@ class TestGuards:
     def test_max_restarts_bounds_retries(self):
         with pytest.raises(ConfigurationError):
             OLLP(build(), max_restarts=-1)
+
+
+class TestExhaustion:
+    """Restart-budget exhaustion is a deterministic workload outcome: it
+    must be *reported*, never raised from inside kernel dispatch."""
+
+    def test_exhaustion_reports_instead_of_raising(self):
+        cluster = build()
+        ollp = OLLP(cluster, max_restarts=0)
+        failures = []
+        # The index writer lands earlier in the total order, so attempt 0
+        # always validates stale — and the budget allows no retry.
+        cluster.submit(
+            Transaction.read_write(
+                cluster.next_txn_id(), reads=[INDEX_KEY], writes=[INDEX_KEY]
+            )
+        )
+        ollp.submit(
+            indexed_update_spec(),
+            on_fail=lambda spec, runtime: failures.append(
+                (spec, runtime.txn.txn_id)
+            ),
+        )
+        cluster.run_until_quiescent(60_000_000)  # must not raise
+
+        assert ollp.failed == 1
+        assert ollp.completed == 0
+        assert ollp.restarts == 0
+        assert len(failures) == 1
+        spec, _txn_id = failures[0]
+        assert spec.dependency_keys == frozenset([INDEX_KEY])
+
+    def test_kernel_survives_exhaustion(self):
+        """The engine keeps committing after a budget exhaustion — the
+        pre-fix SimulationError unwound the event loop mid-commit."""
+        cluster = build()
+        ollp = OLLP(cluster, max_restarts=0)
+        cluster.submit(
+            Transaction.read_write(
+                cluster.next_txn_id(), reads=[INDEX_KEY], writes=[INDEX_KEY]
+            )
+        )
+        ollp.submit(indexed_update_spec())  # on_fail omitted: count only
+        cluster.run_until_quiescent(60_000_000)
+        assert ollp.failed == 1
+
+        done = []
+        cluster.submit(
+            Transaction.read_write(cluster.next_txn_id(), [5], [5]),
+            on_commit=lambda runtime: done.append(runtime.txn.txn_id),
+        )
+        cluster.run_until_quiescent(120_000_000)
+        assert len(done) == 1
+        assert cluster.lock_manager.outstanding() == 0
+
+    def test_sufficient_budget_still_retries(self):
+        cluster = build()
+        ollp = OLLP(cluster, max_restarts=1)
+        failures = []
+        done = []
+        cluster.submit(
+            Transaction.read_write(
+                cluster.next_txn_id(), reads=[INDEX_KEY], writes=[INDEX_KEY]
+            )
+        )
+        ollp.submit(
+            indexed_update_spec(),
+            on_commit=done.append,
+            on_fail=lambda spec, runtime: failures.append(spec),
+        )
+        cluster.run_until_quiescent(60_000_000)
+        assert ollp.failed == 0
+        assert failures == []
+        assert len(done) == 1
+        assert ollp.restarts == 1
