@@ -50,7 +50,8 @@ class ExperimentSpec:
 
     ``kind`` selects the experiment family: ``"google"`` (Google-trace
     YCSB, Figures 2/6–10), ``"tpcc"`` / ``"tpcc_sweep"`` (Figure 11),
-    ``"multitenant"`` (Figures 12/13), ``"scaleout"`` (Figure 14).
+    ``"multitenant"`` (Figures 12/13), ``"scaleout"`` (Figure 14),
+    ``"forecast_robustness"`` (the de-oracled robustness curve).
     ``strategies`` are strategy names (scale-out: variant names), one
     run each.  ``warmup_us``/``window_us`` of ``None`` mean "the kind's
     default"; ``duration_s`` is in *unscaled* simulated seconds — the
@@ -240,12 +241,49 @@ def _run_scaleout(spec: ExperimentSpec) -> list[ExperimentResult]:
     return parallel_map(_figures._scaleout_task, tasks, jobs=spec.jobs)
 
 
+def _run_forecast_robustness(
+    spec: ExperimentSpec,
+) -> dict[float, list[ExperimentResult]]:
+    """The robustness curve: every strategy at every forecast-error level.
+
+    Strategies may mix plain baselines (``calvin``/``clay``/``hermes``)
+    with the forecast variants (``hermes-oracle``, ``hermes-forecast``,
+    ``hermes-forecast-nofallback``); the error level only affects the
+    forecast variants (it is the severity of the injected mid-run
+    ``magnitude_error`` forecast fault), so baselines repeat unchanged
+    across levels as flat reference lines.
+    """
+    p = dict(spec.params)
+    error_levels = tuple(p.pop("error_levels", None) or (0.0, 0.3, 0.6, 0.9))
+    forecaster = p.pop("forecaster", None) or "oracle"
+    num_nodes = p.pop("num_nodes", None) or GOOGLE_BENCH["num_nodes"]
+    num_keys = p.pop("num_keys", None) or GOOGLE_BENCH["num_keys"]
+    rate_scale = p.pop("rate_scale", None) or 4_500.0
+    detector_params = dict(p.pop("detector", None) or {})
+    _reject_unknown("forecast_robustness", p)
+    duration_us = _duration_us(spec, GOOGLE_BENCH["duration_s"])
+    opts = _opts(spec)
+    tasks = [
+        (name, level, forecaster, num_nodes, num_keys, rate_scale,
+         duration_us, detector_params, spec.seed, spec.keep_cluster, opts)
+        for level in error_levels
+        for name in spec.strategies
+    ]
+    flat = parallel_map(_figures._forecast_task, tasks, jobs=spec.jobs)
+    width = len(spec.strategies)
+    return {
+        level: flat[i * width:(i + 1) * width]
+        for i, level in enumerate(error_levels)
+    }
+
+
 _RUNNERS: dict[str, Callable[[ExperimentSpec], object]] = {
     "google": _run_google,
     "tpcc": _run_tpcc,
     "tpcc_sweep": _run_tpcc_sweep,
     "multitenant": _run_multitenant,
     "scaleout": _run_scaleout,
+    "forecast_robustness": _run_forecast_robustness,
 }
 
 
@@ -292,5 +330,15 @@ PRESETS: dict[str, Callable[[], ExperimentSpec]] = {
         kind="scaleout",
         strategies=("squall", "clay+squall", "hermes-nocold-5",
                     "hermes-cold-5"),
+    ),
+    # Forecast-robustness curve: de-oracled Hermes under injected
+    # forecast error, with and without graceful fallback, against the
+    # reactive baseline.
+    "robustness": lambda: ExperimentSpec(
+        kind="forecast_robustness",
+        strategies=("clay", "hermes-oracle", "hermes-forecast",
+                    "hermes-forecast-nofallback"),
+        duration_s=4.0,
+        params={"error_levels": (0.0, 0.6, 0.9), "forecaster": "oracle"},
     ),
 }

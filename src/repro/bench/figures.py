@@ -38,10 +38,26 @@ from repro.bench.presets import (
 )
 from repro.bench.specs import StrategySpec, make_strategy
 from repro.common.config import FusionConfig
+from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG
-from repro.core.provisioning import HybridMigrationPlanner
+from repro.core.fusion_table import FusionTable
+from repro.core.provisioning import (
+    ChunkMigration,
+    ColdMigrationPlan,
+    HybridMigrationPlanner,
+)
 from repro.engine.cluster import Cluster
 from repro.engine.migration import MigrationController
+from repro.faults import FaultInjector, FaultPlan, FaultyForecaster, ForecastFault
+from repro.forecast import (
+    EWMAForecaster,
+    FallbackCoordinator,
+    ForecastRouter,
+    MarkovForecaster,
+    MispredictDetector,
+    OracleForecaster,
+    SeasonalNaiveForecaster,
+)
 from repro.storage.partitioning import Partitioner, make_uniform_ranges
 from repro.workloads.google_trace import SyntheticGoogleTrace
 from repro.workloads.multitenant import (
@@ -227,6 +243,200 @@ def _schism_partitioner_factory(
         )
 
     return build
+
+
+# ----------------------------------------------------------------------
+# Forecast robustness (de-oracled Hermes)
+# ----------------------------------------------------------------------
+
+#: The forecast-driven strategy variants `_forecast_spec` understands,
+#: beyond the plain baselines (`calvin`, `clay`, `hermes`).
+FORECAST_VARIANTS = (
+    "hermes-oracle", "hermes-forecast", "hermes-forecast-nofallback",
+)
+
+
+def _make_forecaster(
+    name: str, rng: DeterministicRNG, num_nodes: int, num_keys: int
+):
+    """A learned forecaster by name (``oracle``/``ewma``/``markov``/
+    ``seasonal``), sized for a uniform-range integer keyspace."""
+    if name == "oracle":
+        return OracleForecaster()
+    if name == "ewma":
+        return EWMAForecaster(rng)
+    if name == "markov":
+        keys_per_node = max(1, -(-num_keys // num_nodes))
+        return MarkovForecaster(
+            rng,
+            num_partitions=num_nodes,
+            partition_of=lambda key: min(num_nodes - 1, key // keys_per_node),
+        )
+    if name == "seasonal":
+        return SeasonalNaiveForecaster(rng)
+    raise ConfigurationError(f"unknown forecaster {name!r}")
+
+
+def _forecast_cold_plan(
+    num_keys: int, num_nodes: int, chunk_records: int = 64
+) -> ColdMigrationPlan:
+    """A mid-run prescient migration: half of node 0's range to node 1.
+
+    Many small chunks, so the plan is still in flight when a fault
+    window degrades the forecast — giving the fallback transition an
+    in-flight prescient migration to cancel.
+    """
+    per_node = max(1, num_keys // num_nodes)
+    hi = max(1, per_node // 2)
+    chunks = []
+    for start in range(0, hi, chunk_records):
+        stop = min(start + chunk_records, hi)
+        chunks.append(ChunkMigration(
+            src=0, dst=1, keys=tuple(range(start, stop)),
+            range_reassign=(start, stop),
+        ))
+    return ColdMigrationPlan(tuple(chunks))
+
+
+def _forecast_spec(
+    variant: str,
+    *,
+    num_nodes: int,
+    num_keys: int,
+    forecaster_name: str,
+    seed: int,
+    detector_params: dict | None = None,
+    migrate_at_us: float | None = None,
+) -> StrategySpec:
+    """Strategy spec for one robustness-curve variant.
+
+    ``hermes-oracle`` routes through a :class:`ForecastRouter` whose
+    oracle fast path makes it plan-identical to plain ``hermes``;
+    ``hermes-forecast`` plans on a learned (and fault-injectable)
+    forecast with graceful fallback; ``hermes-forecast-nofallback`` is
+    the ablation that never stops trusting the forecast.  Plain
+    baseline names delegate to :func:`google_spec`.
+    """
+    if variant not in FORECAST_VARIANTS:
+        return google_spec(variant, num_keys)
+    rng = DeterministicRNG(seed, "forecast", variant)
+    if variant == "hermes-oracle":
+        forecaster = OracleForecaster()
+    else:
+        inner = _make_forecaster(forecaster_name, rng, num_nodes, num_keys)
+        forecaster = FaultyForecaster(
+            inner, rng, key_universe=range(num_keys)
+        )
+    detector = MispredictDetector(**(detector_params or {}))
+    fallback = variant != "hermes-forecast-nofallback"
+    router_holder: list[ForecastRouter] = []
+
+    def make_router() -> ForecastRouter:
+        router = ForecastRouter(
+            forecaster, fallback_enabled=fallback, detector=detector
+        )
+        router_holder.append(router)
+        return router
+
+    def attach(cluster: Cluster) -> FallbackCoordinator:
+        coordinator = FallbackCoordinator(cluster, router_holder[-1])
+        if migrate_at_us is not None:
+            def kick() -> None:
+                if (not coordinator.controller.active
+                        and not router_holder[-1].in_fallback):
+                    coordinator.start_migration(
+                        _forecast_cold_plan(num_keys, num_nodes)
+                    )
+            cluster.kernel.call_later(migrate_at_us, kick)
+        return coordinator
+
+    return StrategySpec(
+        name=variant,
+        make_router=make_router,
+        make_overlay=lambda: FusionTable(
+            bench_fusion_config(capacity=max(200, num_keys // 20))
+        ),
+        attach=attach,
+        notes="forecast-driven prescient routing",
+    )
+
+
+def _forecast_task(task: tuple) -> ExperimentResult:
+    """One robustness-curve point: variant × forecast-error level."""
+    (variant, error_level, forecaster_name, num_nodes, num_keys,
+     rate_scale, duration_us, detector_params, seed, keep_cluster,
+     opts) = task
+    ycsb_config = YCSBConfig(
+        num_keys=num_keys,
+        num_partitions=num_nodes,
+        global_cycle_us=duration_us / 2,
+    )
+    trace_config = bench_trace_config(num_nodes, duration_us / 1e6)
+    trace = SyntheticGoogleTrace(trace_config, DeterministicRNG(seed, "trace"))
+
+    def workload_factory(rng: DeterministicRNG) -> GoogleYCSBWorkload:
+        return GoogleYCSBWorkload(ycsb_config, trace, rng)
+
+    def rate_fn(now_us: float) -> float:
+        return rate_scale * trace.total_load_at(now_us)
+
+    spec = _forecast_spec(
+        variant,
+        num_nodes=num_nodes,
+        num_keys=num_keys,
+        forecaster_name=forecaster_name,
+        seed=seed,
+        detector_params=detector_params,
+        migrate_at_us=(
+            0.3 * duration_us if variant in FORECAST_VARIANTS else None
+        ),
+    )
+
+    # The fault window covers the middle of the run and *ends* well
+    # before it does, so detection, cancellation, and recovery (the
+    # closing `forecast_fallback` span) all land inside the run.
+    fault_plan = None
+    if error_level > 0 and variant in (
+        "hermes-forecast", "hermes-forecast-nofallback"
+    ):
+        fault_plan = FaultPlan(events=(
+            ForecastFault(
+                start_us=0.35 * duration_us,
+                duration_us=0.40 * duration_us,
+                kind="magnitude_error",
+                severity=error_level,
+            ),
+        ))
+
+    def before_run(cluster: Cluster) -> None:
+        if fault_plan is not None:
+            FaultInjector(
+                cluster, fault_plan, DeterministicRNG(seed, "forecast-chaos")
+            ).install()
+
+    result = run_workload(
+        spec,
+        cluster_config=bench_cluster_config(num_nodes),
+        partitioner_factory=lambda: make_uniform_ranges(num_keys, num_nodes),
+        workload_factory=workload_factory,
+        keys=range(num_keys),
+        seed=seed,
+        duration_us=duration_us,
+        warmup_us=opts.get("warmup_us") if opts.get("warmup_us") is not None
+        else min(2_000_000.0, duration_us / 5),
+        drain=False,
+        mode="open",
+        rate_per_s=rate_fn,
+        stats_window_us=opts.get("window_us")
+        if opts.get("window_us") is not None
+        else max(500_000.0, duration_us / 16),
+        before_run=before_run,
+        keep_cluster=keep_cluster,
+        trace=opts.get("trace"),
+    )
+    result.extras["error_level"] = error_level
+    result.extras["forecaster"] = forecaster_name
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -131,6 +131,11 @@ def run_workload(
 
     attached = spec.attach(cluster) if spec.attach is not None else None
     cluster.metrics.warmup_until = warmup_us
+    reset_stats = getattr(cluster.router, "reset_stats", None)
+    if reset_stats is not None:
+        # Fresh per-run routing counters: the router object may be reused
+        # across runs by a caller-built StrategySpec.
+        reset_stats()
 
     if mode == "closed":
         driver = ClosedLoopDriver(
@@ -156,6 +161,14 @@ def run_workload(
     metrics = cluster.metrics
     pcts = metrics.latency_percentiles_us((0.5, 0.95, 0.99))
     extras: dict = {"submitted": driver.submitted}
+    extras["distributed_txn_ratio"] = metrics.distributed_txn_ratio()
+    extras["ollp_exhausted"] = metrics.ollp_exhausted
+    extras["ollp_exhausted_rate"] = (
+        metrics.ollp_exhausted / metrics.commits if metrics.commits else 0.0
+    )
+    stats_fn = getattr(cluster.router, "stats_snapshot", None)
+    if stats_fn is not None:
+        extras["router_stats"] = dict(stats_fn())
     if trace is not None:
         extras["tracer"] = trace
     if keep_cluster:

@@ -72,6 +72,16 @@ class TxnPlan:
             if node not in self.masters
         )
 
+    def execution_nodes(self) -> set[NodeId]:
+        """Nodes involved while the transaction executes: running logic
+        or serving reads/writes (migration sources appear via
+        ``reads_from``).  Excludes post-commit background movement
+        (writebacks, evictions) — those never stall the transaction."""
+        nodes: set[NodeId] = set(self.masters)
+        nodes.update(self.reads_from)
+        nodes.update(self.writes_at)
+        return nodes
+
     def participant_nodes(self) -> set[NodeId]:
         """Every node that does any work for this transaction."""
         nodes: set[NodeId] = set(self.masters)

@@ -131,6 +131,17 @@ class PrescientRouter(Router):
             "moves_planned": self.moves_planned,
         }
 
+    def reset_stats(self) -> None:
+        """Zero the planning counters.
+
+        Called by the bench harness at the start of every run so a
+        router instance reused across back-to-back ``run_experiment``
+        calls does not leak stale counts into the next run's metrics.
+        """
+        self.batches_routed = 0
+        self.txns_routed = 0
+        self.moves_planned = 0
+
     # ------------------------------------------------------------------
     # Steps 1-3 of Algorithm 1 (search phase; touches only scratch state)
     # ------------------------------------------------------------------

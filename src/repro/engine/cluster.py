@@ -92,6 +92,11 @@ class Cluster:
         self._next_txn_id = 0
         self._unfinished = 0
         self._scheduler_free_at = 0.0
+        # Router planning counters surface as registry gauges, refreshed
+        # per batch (satellite of the forecast work: back-to-back runs
+        # read per-run values, not a reused router's stale totals).
+        self._router_stats_fn = getattr(router, "stats_snapshot", None)
+        self._router_stat_gauges: dict[str, object] | None = None
         self._commit_callbacks: dict[int, list[Callable]] = {}
         self.epochs_delivered = 0
         self.commit_listeners: list[Callable[[TxnRuntime], None]] = []
@@ -188,6 +193,9 @@ class Cluster:
         digest = self.kernel.digest
         if digest is not None:
             digest.note("sched.route", batch.epoch, len(batch))
+        router_stats_fn = self._router_stats_fn
+        if router_stats_fn is not None:
+            self._sample_router_stats(router_stats_fn())
         tracer = self.tracer
         if tracer is not None:
             tracer.route_batch(batch.epoch, len(batch), start, routing_cost)
@@ -205,6 +213,27 @@ class Cluster:
                     batch.epoch, node_id,
                     **self.nodes[node_id].load_snapshot(),
                 )
+
+    def _sample_router_stats(self, stats: dict) -> None:
+        """Mirror the router's planning counters into registry gauges.
+
+        Instruments are named ``router_<stat>`` and created once on the
+        first batch; the per-batch cost is a dict walk and a float
+        store per stat.
+        """
+        gauges = self._router_stat_gauges
+        if gauges is None:
+            gauge = self.metrics.registry.gauge
+            gauges = self._router_stat_gauges = {
+                name: gauge(f"router_{name}") for name in stats
+            }
+        for name, value in stats.items():
+            instrument = gauges.get(name)
+            if instrument is None:
+                instrument = gauges[name] = self.metrics.registry.gauge(
+                    f"router_{name}"
+                )
+            instrument.set(value)
 
     def inject_batch(self, batch: Batch) -> None:
         """Feed a pre-ordered batch directly (replay path, bypassing the
@@ -272,6 +301,8 @@ class Cluster:
                     "sched.dispatch", self._next_seq, txn_plan.txn.txn_id,
                     txn_plan.coordinator,
                 )
+            if not txn_plan.txn.is_system():
+                self.metrics.note_dispatch(txn_plan)
             if tracer is not None:
                 txn = txn_plan.txn
                 tracer.txn_dispatched(

@@ -71,6 +71,9 @@ class ClusterMetrics:
         self._writebacks = reg.counter("writebacks_total")
         self._evictions = reg.counter("evictions_total")
         self._batches = reg.counter("batches_total")
+        self._user_txns = reg.counter("user_txns_dispatched_total")
+        self._distributed_txns = reg.counter("distributed_txns_total")
+        self._ollp_exhausted = reg.counter("ollp_exhausted_total")
         self._latency_hist: Histogram = reg.histogram("txn_latency_us")
 
     # -- scalar facades over the registry ------------------------------
@@ -81,6 +84,9 @@ class ClusterMetrics:
     writebacks = _counter_facade("_writebacks")
     evictions = _counter_facade("_evictions")
     batches = _counter_facade("_batches")
+    user_txns = _counter_facade("_user_txns")
+    distributed_txns = _counter_facade("_distributed_txns")
+    ollp_exhausted = _counter_facade("_ollp_exhausted")
 
     @property
     def total_latency_sum(self) -> float:
@@ -88,6 +94,30 @@ class ClusterMetrics:
         return self._latency_hist.sum
 
     # -- recording ------------------------------------------------------
+
+    def note_dispatch(self, plan) -> None:
+        """Record one dispatched *user* transaction plan.
+
+        A plan whose *execution* spans more than one node is a
+        distributed transaction — the paper's headline metric (fewer
+        distributed transactions is what prescient routing buys).  The
+        ratio ``distributed_txns / user_txns`` is comparable across
+        single-master strategies (master ∪ remote-read sources) and
+        multi-master ones (every executing owner); post-commit
+        background movement (writebacks, evictions) does not count.
+        """
+        self._user_txns.inc()
+        if len(plan.execution_nodes()) > 1:
+            self._distributed_txns.inc()
+
+    def distributed_txn_ratio(self) -> float:
+        """Fraction of dispatched user transactions touching > 1 node."""
+        total = self._user_txns.value
+        return self._distributed_txns.value / total if total else 0.0
+
+    def note_ollp_exhausted(self) -> None:
+        """Record one OLLP transaction that ran out of restarts."""
+        self._ollp_exhausted.inc()
 
     def note_commit(self, runtime: "TxnRuntime") -> None:
         """Record one committed user transaction."""

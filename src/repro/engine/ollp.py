@@ -135,6 +135,7 @@ class OLLP:
             if runtime.aborted:
                 if _attempt >= self.max_restarts:
                     self.failed += 1
+                    self.cluster.metrics.note_ollp_exhausted()
                     tracer = self.cluster.tracer
                     if tracer is not None:
                         tracer.instant(

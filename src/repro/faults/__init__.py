@@ -13,6 +13,12 @@ The subsystem has three layers:
   and verify the paper's determinism invariant — the final state equals
   the fault-free reference bit for bit, and no committed transaction is
   ever lost.
+
+:mod:`repro.faults.forecast` extends the injector's reach beyond the
+cluster itself: :class:`FaultyForecaster` degrades the *forecast* the
+prescient router plans against while a :class:`ForecastFault` window is
+active, so chaos campaigns can exercise mispredict detection and the
+reactive fallback path.
 """
 
 from repro.faults.chaos import (
@@ -24,10 +30,13 @@ from repro.faults.chaos import (
     run_reference,
     verify_trial,
 )
+from repro.faults.forecast import FaultyForecaster
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    FORECAST_FAULT_KINDS,
     CrashFault,
     FaultPlan,
+    ForecastFault,
     JitterFault,
     LinkLossFault,
     PartitionFault,
@@ -35,11 +44,14 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "FORECAST_FAULT_KINDS",
     "ChaosConfig",
     "ChaosRunResult",
     "CrashFault",
     "FaultInjector",
     "FaultPlan",
+    "FaultyForecaster",
+    "ForecastFault",
     "JitterFault",
     "LinkLossFault",
     "PartitionFault",

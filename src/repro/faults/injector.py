@@ -24,6 +24,7 @@ from repro.common.rng import DeterministicRNG
 from repro.engine.cluster import Cluster
 from repro.faults.plan import (
     FaultPlan,
+    ForecastFault,
     JitterFault,
     LinkLossFault,
     PartitionFault,
@@ -112,6 +113,13 @@ class FaultInjector:
             self.cluster.nodes[event.node].workers.set_slowdown(
                 event.slowdown
             )
+        elif isinstance(event, ForecastFault):
+            # Routed to the forecaster wrapper when the router has one;
+            # clusters without a forecast router ignore the window (the
+            # fault_on/fault_off trace still records it).
+            sink = getattr(self.cluster.router, "forecast_fault_sink", None)
+            if sink is not None:
+                sink.activate(event)
 
     def _deactivate(self, event: ScheduledFault) -> None:
         self.deactivations += 1
@@ -127,3 +135,7 @@ class FaultInjector:
                 network.remove_rule(rule_id)
         elif isinstance(event, StragglerFault):
             self.cluster.nodes[event.node].workers.set_slowdown(1.0)
+        elif isinstance(event, ForecastFault):
+            sink = getattr(self.cluster.router, "forecast_fault_sink", None)
+            if sink is not None:
+                sink.deactivate(event)

@@ -125,6 +125,42 @@ class StragglerFault:
             raise FaultInjectionError("slowdown must be >= 1")
 
 
+#: Distortion modes a :class:`ForecastFault` can apply to predictions.
+FORECAST_FAULT_KINDS = (
+    "horizon_truncation",
+    "spike_dropout",
+    "magnitude_error",
+    "stale_window",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ForecastFault:
+    """Degrade the router's forecast (not the cluster) while active.
+
+    Interpreted by :class:`repro.faults.forecast.FaultyForecaster` via
+    the router's ``forecast_fault_sink``; clusters whose router has no
+    forecaster ignore the window (traced, but a no-op).  ``severity``
+    scales the distortion: the fraction of horizon truncated, the
+    per-key corruption probability, or the staleness lag.
+    """
+
+    start_us: float
+    duration_us: float
+    kind: str
+    severity: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_us, self.duration_us)
+        if self.kind not in FORECAST_FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown forecast fault kind {self.kind!r}; "
+                f"expected one of {FORECAST_FAULT_KINDS}"
+            )
+        if not 0.0 < self.severity <= 1.0:
+            raise FaultInjectionError("severity must be in (0, 1]")
+
+
 def _check_window(start_us: float, duration_us: float) -> None:
     if start_us < 0:
         raise FaultInjectionError("fault start must be >= 0")
@@ -132,7 +168,10 @@ def _check_window(start_us: float, duration_us: float) -> None:
         raise FaultInjectionError("fault duration must be > 0")
 
 
-ScheduledFault = PartitionFault | LinkLossFault | JitterFault | StragglerFault
+ScheduledFault = (
+    PartitionFault | LinkLossFault | JitterFault | StragglerFault
+    | ForecastFault
+)
 FaultEvent = CrashFault | ScheduledFault
 
 
@@ -175,6 +214,7 @@ class FaultPlan:
         crash_probability: float = 0.35,
         max_windowed: int = 4,
         max_window_us: float = 1_000_000.0,
+        forecast_probability: float = 0.0,
     ) -> "FaultPlan":
         """Draw a bounded random plan over ``[0, horizon_us]``.
 
@@ -235,6 +275,17 @@ class FaultPlan:
                         slowdown=2.0 + 6.0 * rng.random(),
                     )
                 )
+        # Short-circuit keeps the draw sequence (and thus every existing
+        # randomized chaos plan) unchanged when the knob is off.
+        if forecast_probability > 0 and rng.random() < forecast_probability:
+            events.append(
+                ForecastFault(
+                    start_us=rng.random() * horizon_us,
+                    duration_us=max_window_us * (0.1 + 0.9 * rng.random()),
+                    kind=rng.choice(FORECAST_FAULT_KINDS),
+                    severity=0.2 + 0.8 * rng.random(),
+                )
+            )
         plan = FaultPlan(events=tuple(events))
         plan.validate(num_nodes)
         return plan

@@ -17,11 +17,15 @@ traced run from the command line; see :mod:`repro.obs.__main__`.
 from repro.obs.analyze import (
     WaitChain,
     event_counts,
+    forecast_health,
+    format_forecast_health,
     format_node_load,
+    format_ollp_exhaustion,
     format_stage_flame,
     format_wait_chains,
     lock_wait_chains,
     node_load_series,
+    ollp_exhaustion,
     seq_txn_map,
     stage_totals,
 )
@@ -44,11 +48,15 @@ __all__ = [
     "Tracer",
     "WaitChain",
     "event_counts",
+    "forecast_health",
+    "format_forecast_health",
     "format_node_load",
+    "format_ollp_exhaustion",
     "format_stage_flame",
     "format_wait_chains",
     "lock_wait_chains",
     "node_load_series",
+    "ollp_exhaustion",
     "read_jsonl",
     "seq_txn_map",
     "stage_totals",

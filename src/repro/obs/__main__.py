@@ -28,7 +28,9 @@ import sys
 
 from repro.obs.analyze import (
     event_counts,
+    format_forecast_health,
     format_node_load,
+    format_ollp_exhaustion,
     format_stage_flame,
     format_wait_chains,
     lock_wait_chains,
@@ -45,6 +47,11 @@ def _print_report(events: list[dict], top: int) -> None:
     print(format_node_load(events))
     print()
     print(format_stage_flame(events))
+    print()
+    print(format_ollp_exhaustion(events))
+    forecast_line = format_forecast_health(events)
+    if forecast_line:
+        print(forecast_line)
 
 
 def _audit_cluster(cluster) -> int:

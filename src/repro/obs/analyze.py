@@ -203,6 +203,88 @@ def format_stage_flame(events: list[dict], width: int = 50) -> str:
     return "\n".join(lines)
 
 
+# -- OLLP restart exhaustion ---------------------------------------------
+
+
+def ollp_exhaustion(events: list[dict]) -> tuple[int, int]:
+    """(restart-exhausted OLLP transactions, commits) from one trace.
+
+    An ``ollp_exhausted`` instant marks a dependent transaction whose
+    footprint kept moving past its restart budget — a deterministic
+    workload outcome, surfaced so a chaos campaign can tell "the OLLP
+    loop gave up" apart from "the transaction never arrived".
+    """
+    exhausted = 0
+    commits = 0
+    for event in events:
+        if event["cat"] != "exec":
+            continue
+        if event["name"] == "ollp_exhausted":
+            exhausted += 1
+        elif event["name"] == "commit":
+            commits += 1
+    return exhausted, commits
+
+
+def format_ollp_exhaustion(events: list[dict]) -> str:
+    """One-line OLLP restart-exhaustion summary for the report."""
+    exhausted, commits = ollp_exhaustion(events)
+    if not exhausted:
+        return "OLLP restart exhaustion: none"
+    rate = exhausted / commits if commits else 0.0
+    suffix = (
+        f" ({rate:.4f} per commit)" if commits
+        else " (no commits recorded)"
+    )
+    return f"OLLP restart exhaustion: {exhausted} txns{suffix}"
+
+
+# -- forecast health -----------------------------------------------------
+
+
+def forecast_health(events: list[dict]) -> dict[str, float]:
+    """Forecast-quality summary: samples, mean error, fallback episodes."""
+    samples = 0
+    error_sum = 0.0
+    engagements = 0
+    recoveries = 0
+    fallback_us = 0.0
+    for event in events:
+        if event.get("cat") != "forecast":
+            continue
+        name = event["name"]
+        if name == "forecast_error":
+            samples += 1
+            error_sum += event["args"].get("error", 0.0)
+        elif name == "fallback_engaged":
+            engagements += 1
+        elif name == "fallback_recovered":
+            recoveries += 1
+        elif name == "forecast_fallback":
+            fallback_us += event.get("dur", 0.0)
+    return {
+        "samples": samples,
+        "mean_error": error_sum / samples if samples else 0.0,
+        "engagements": engagements,
+        "recoveries": recoveries,
+        "fallback_us": fallback_us,
+    }
+
+
+def format_forecast_health(events: list[dict]) -> str:
+    """Forecast section of the report; empty string when untraced."""
+    health = forecast_health(events)
+    if not health["samples"]:
+        return ""
+    return (
+        f"forecast: {health['samples']} epoch samples, "
+        f"mean error {health['mean_error']:.4f}, "
+        f"{health['engagements']} fallback engagement(s) / "
+        f"{health['recoveries']} recovery(ies), "
+        f"{health['fallback_us'] / 1e6:.3f}s in fallback"
+    )
+
+
 # -- summary counts ------------------------------------------------------
 
 

@@ -42,6 +42,7 @@ Event taxonomy (the ``cat`` field)
 ``load``   per-batch per-node queue-depth counter samples
 ``mig``    migration controller phases (``chunk_submit``/``chunk_commit``)
 ``fault``  fault-injector window transitions
+``forecast`` forecast-error samples, fallback engage/recover transitions
 """
 
 from __future__ import annotations
@@ -61,6 +62,7 @@ CLUSTER_PID = 0
 #: Stable category list (documentation + analyzers' filters).
 CATEGORIES = (
     "seq", "route", "lock", "exec", "net", "fusion", "load", "mig", "fault",
+    "forecast",
 )
 
 
@@ -279,6 +281,20 @@ class Tracer:
     def fault(self, state: str, event: Any) -> None:
         self.instant("fault", state, kind=type(event).__name__,
                      detail=repr(event))
+
+    # -- typed events: forecasting ----------------------------------------
+
+    def forecast_sample(self, epoch: int, **stats: float) -> None:
+        """Per-epoch forecast-quality counter sample."""
+        self.counter("forecast", "forecast_error", epoch=epoch, **stats)
+
+    def forecast_transition(self, name: str, **args: Any) -> None:
+        """Fallback engage/recover edge (``fallback_engaged`` etc.)."""
+        self.instant("forecast", name, **args)
+
+    def forecast_fallback(self, start_us: float, **args: Any) -> None:
+        """One completed fallback episode as a span (engage → recover)."""
+        self.span("forecast", "forecast_fallback", start_us, **args)
 
     # -- export -----------------------------------------------------------
 

@@ -233,4 +233,25 @@ CLEAN: list[Snippet] = [
         "t0 = time.perf_counter()  "
         "# sanitize: ok(bench harness measures real wall time)\n",
     ),
+    # Forecast-subsystem idioms (repro.forecast is part of the tree-wide
+    # lint sweep; these pin the patterns it relies on as known-clean).
+    Snippet(
+        "heat-table-trim-by-sorted-heat",
+        "hottest = sorted(heat.items(), key=lambda kv: (-kv[1], repr(kv[0])))\n"
+        "heat = dict(hottest[:max_tracked])\n",
+    ),
+    Snippet(
+        "forecast-epoch-fork",
+        "rng = self._rng.fork('epoch', batch.epoch)\n"
+        "draws = rng.np.random(4 * count)\n",
+    ),
+    Snippet(
+        "membership-only-hot-set",
+        "only = {k for k, n in frequency.items() if n > 1}\n"
+        "eligible = key in only\n",
+    ),
+    Snippet(
+        "repr-sorted-key-pool",
+        "pool = tuple(sorted(seen, key=repr))\n",
+    ),
 ]

@@ -74,7 +74,8 @@ class TestPresets:
             spec = preset_spec(name)
             assert spec.strategies, name
             assert spec.kind in ("google", "tpcc", "tpcc_sweep",
-                                 "multitenant", "scaleout"), name
+                                 "multitenant", "scaleout",
+                                 "forecast_robustness"), name
 
     def test_override(self):
         spec = preset_spec("fig07", seed=1, strategies=("hermes",))

@@ -38,6 +38,52 @@ class TestChunkMigration:
         assert plan.total_keys() == 5
 
 
+class TestRemainderExcluding:
+    def plan(self):
+        return ColdMigrationPlan(
+            (
+                ChunkMigration(0, 1, (1, 2), range_reassign=(1, 3)),
+                ChunkMigration(0, 1, (3, 4), range_reassign=(3, 5)),
+                ChunkMigration(0, 2, (5, 6), range_reassign=(5, 7)),
+            )
+        )
+
+    def test_empty_done_returns_whole_plan_in_order(self):
+        plan = self.plan()
+        remainder = plan.remainder_excluding(())
+        assert remainder.chunks == plan.chunks
+
+    def test_all_chunks_excluded_leaves_empty_plan(self):
+        plan = self.plan()
+        remainder = plan.remainder_excluding(plan.chunks)
+        assert len(remainder) == 0
+        assert remainder.total_keys() == 0
+
+    def test_membership_is_by_value_not_identity(self):
+        plan = self.plan()
+        # An equal chunk built independently must still match.
+        twin = ChunkMigration(0, 1, (1, 2), range_reassign=(1, 3))
+        assert twin is not plan.chunks[0]
+        remainder = plan.remainder_excluding([twin])
+        assert remainder.chunks == plan.chunks[1:]
+
+    def test_disjoint_done_set_excludes_nothing(self):
+        plan = self.plan()
+        foreign = (
+            ChunkMigration(2, 3, (99, 100)),
+            # Same keys as a plan chunk but a different destination:
+            # not the same value, so it must not match.
+            ChunkMigration(0, 3, (1, 2), range_reassign=(1, 3)),
+        )
+        remainder = plan.remainder_excluding(foreign)
+        assert remainder.chunks == plan.chunks
+
+    def test_partial_exclusion_preserves_original_order(self):
+        plan = self.plan()
+        remainder = plan.remainder_excluding([plan.chunks[1]])
+        assert remainder.chunks == (plan.chunks[0], plan.chunks[2])
+
+
 class TestScaleOut:
     def test_chunks_cover_requested_ranges(self):
         planner = HybridMigrationPlanner(chunk_records=10)

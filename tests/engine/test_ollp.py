@@ -190,6 +190,11 @@ class TestExhaustion:
         assert len(failures) == 1
         spec, _txn_id = failures[0]
         assert spec.dependency_keys == frozenset([INDEX_KEY])
+        # Exhaustion is surfaced through the cluster metrics too, so the
+        # harness can report an ollp_exhausted rate per run.
+        assert cluster.metrics.ollp_exhausted == 1
+        (counter,) = cluster.metrics.registry.find("ollp_exhausted_total")
+        assert counter.value == 1
 
     def test_kernel_survives_exhaustion(self):
         """The engine keeps committing after a budget exhaustion — the

@@ -4,11 +4,15 @@ from __future__ import annotations
 
 from repro.obs.analyze import (
     event_counts,
+    forecast_health,
+    format_forecast_health,
     format_node_load,
+    format_ollp_exhaustion,
     format_stage_flame,
     format_wait_chains,
     lock_wait_chains,
     node_load_series,
+    ollp_exhaustion,
     seq_txn_map,
     stage_totals,
 )
@@ -122,3 +126,61 @@ class TestEventCounts:
                   _event("exec", "serve")]
         assert list(event_counts(events).items()) == [("exec", 2),
                                                       ("load", 1)]
+
+
+class TestOllpExhaustion:
+    def test_counts_exhaustions_and_commits(self):
+        events = [
+            _event("exec", "commit", txn=1),
+            _event("exec", "commit", txn=2),
+            _event("exec", "ollp_exhausted", txn=3, restarts=2),
+            _event("route", "ollp_exhausted"),  # wrong category: ignored
+        ]
+        assert ollp_exhaustion(events) == (1, 2)
+        rendered = format_ollp_exhaustion(events)
+        assert "1 txns" in rendered
+        assert "0.5000 per commit" in rendered
+
+    def test_clean_run_reports_none(self):
+        events = [_event("exec", "commit", txn=1)]
+        assert format_ollp_exhaustion(events) == (
+            "OLLP restart exhaustion: none"
+        )
+
+    def test_exhaustion_without_commits(self):
+        events = [_event("exec", "ollp_exhausted", txn=3)]
+        assert "no commits recorded" in format_ollp_exhaustion(events)
+
+
+def _forecast_sample(error, *, ewma=None, fallback=0):
+    return _event("forecast", "forecast_error", error=error,
+                  ewma=error if ewma is None else ewma, fallback=fallback)
+
+
+class TestForecastHealth:
+    def test_summarizes_episode(self):
+        events = [
+            _forecast_sample(0.0),
+            _forecast_sample(0.8, fallback=1),
+            _event("forecast", "fallback_engaged", epoch=3),
+            _event("forecast", "fallback_recovered", epoch=9),
+            dict(_event("forecast", "forecast_fallback"),
+                 ph="X", dur=30_000.0),
+        ]
+        health = forecast_health(events)
+        assert health["samples"] == 2
+        assert health["mean_error"] == 0.4
+        assert health["engagements"] == 1
+        assert health["recoveries"] == 1
+        assert health["fallback_us"] == 30_000.0
+        rendered = format_forecast_health(events)
+        assert "2 epoch samples" in rendered
+        assert "mean error 0.4000" in rendered
+        assert "1 fallback engagement(s)" in rendered
+        assert "0.030s in fallback" in rendered
+
+    def test_untraced_run_is_silent(self):
+        assert format_forecast_health([]) == ""
+        assert format_forecast_health(
+            [_event("exec", "commit", txn=1)]
+        ) == ""
