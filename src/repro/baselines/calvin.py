@@ -15,6 +15,7 @@ from repro.common.types import Batch
 from repro.core.plan import RoutingPlan
 from repro.core.router import (
     ClusterView,
+    FootprintCache,
     Router,
     build_chunk_migration_plan,
     build_multi_master_plan,
@@ -30,8 +31,11 @@ class CalvinRouter(Router):
     def route_batch(self, batch: Batch, view: ClusterView) -> RoutingPlan:
         user_txns, plans, migration_txns = split_system_txns(batch, view)
         plan = RoutingPlan(epoch=batch.epoch, plans=plans)
+        footprints = FootprintCache(view.ownership)
         for txn in user_txns:
-            plan.plans.append(build_multi_master_plan(txn, view))
+            plan.plans.append(
+                build_multi_master_plan(txn, view, footprints.owners(txn))
+            )
         for txn in migration_txns:
             plan.plans.append(build_chunk_migration_plan(txn, view))
         return plan

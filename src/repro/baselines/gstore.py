@@ -19,9 +19,11 @@ from repro.common.types import Batch
 from repro.core.plan import RoutingPlan
 from repro.core.router import (
     ClusterView,
+    FootprintCache,
     Router,
     build_chunk_migration_plan,
     build_single_master_plan,
+    count_by_owner,
     majority_owner,
     split_system_txns,
 )
@@ -35,8 +37,14 @@ class GStoreRouter(Router):
     def route_batch(self, batch: Batch, view: ClusterView) -> RoutingPlan:
         user_txns, plans, migration_txns = split_system_txns(batch, view)
         plan = RoutingPlan(epoch=batch.epoch, plans=plans)
+        # Groups disband at commit (``update_view=False``), so ownership
+        # never changes mid-batch and one footprint pass per transaction
+        # serves both the majority vote and the plan build.
+        footprints = FootprintCache(view.ownership)
         for txn in user_txns:
-            master = majority_owner(txn, view)
+            owners = footprints.owners(txn)
+            counts = count_by_owner(txn, view, owners=owners)
+            master = majority_owner(txn, view, counts)
             plan.plans.append(
                 build_single_master_plan(
                     txn,
@@ -46,6 +54,7 @@ class GStoreRouter(Router):
                     migrate_reads=True,
                     writeback_remote=True,
                     update_view=False,
+                    owners=owners,
                 )
             )
         for txn in migration_txns:

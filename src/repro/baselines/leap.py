@@ -19,9 +19,11 @@ from repro.core.plan import RoutingPlan
 from repro.core.router import (
     ClusterView,
     DictOverlay,
+    FootprintCache,
     Router,
     build_chunk_migration_plan,
     build_single_master_plan,
+    count_by_owner,
     majority_owner,
     split_system_txns,
 )
@@ -40,8 +42,14 @@ class LeapRouter(Router):
     def route_batch(self, batch: Batch, view: ClusterView) -> RoutingPlan:
         user_txns, plans, migration_txns = split_system_txns(batch, view)
         plan = RoutingPlan(epoch=batch.epoch, plans=plans)
+        # One footprint resolution feeds both the majority vote and the
+        # plan build; LEAP's own migrations bump the ownership version,
+        # so a txn never sees a stale tuple.
+        footprints = FootprintCache(view.ownership)
         for txn in user_txns:
-            master = majority_owner(txn, view)
+            owners = footprints.owners(txn)
+            counts = count_by_owner(txn, view, owners=owners)
+            master = majority_owner(txn, view, counts)
             plan.plans.append(
                 build_single_master_plan(
                     txn,
@@ -49,6 +57,7 @@ class LeapRouter(Router):
                     view,
                     migrate_writes=True,
                     migrate_reads=True,
+                    owners=owners,
                 )
             )
         for txn in migration_txns:

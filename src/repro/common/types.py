@@ -104,9 +104,18 @@ class Transaction:
     footprint prediction went stale), and the OLLP coordinator restarts
     it with a fresh reconnaissance (Section 2.1)."""
 
+    # Lazily computed caches for the two derived views every engine layer
+    # hits per transaction (routing, lock classification, execution).
+    # Both derive purely from the frozen read/write sets, so memoizing
+    # them on the instance is invisible to any observer.
+    _full_cache: frozenset = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _ordered_cache: tuple = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def __post_init__(self) -> None:
-        if not self.write_set <= self.read_set | self.write_set:
-            raise ValueError("unreachable")  # pragma: no cover
         if self.kind is TxnKind.READ_ONLY and self.write_set:
             raise ValueError(
                 f"transaction {self.txn_id} is READ_ONLY but has a write-set"
@@ -115,7 +124,11 @@ class Transaction:
     @property
     def full_set(self) -> frozenset[Key]:
         """Every key the transaction locks (reads ∪ writes)."""
-        return self.read_set | self.write_set
+        cached = self._full_cache
+        if cached is None:
+            cached = self.read_set | self.write_set
+            object.__setattr__(self, "_full_cache", cached)
+        return cached
 
     @property
     def ordered_keys(self) -> tuple[Key, ...]:
@@ -127,7 +140,11 @@ class Transaction:
         scheduling — routing loops, lock classification, reads-from
         grouping — must iterate this instead.
         """
-        return tuple(sorted(self.read_set | self.write_set, key=repr))
+        cached = self._ordered_cache
+        if cached is None:
+            cached = tuple(sorted(self.full_set, key=repr))
+            object.__setattr__(self, "_ordered_cache", cached)
+        return cached
 
     @property
     def size(self) -> int:

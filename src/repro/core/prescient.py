@@ -40,6 +40,7 @@ O(b!·n^b):
 from __future__ import annotations
 
 import bisect
+import heapq
 import math
 from typing import Sequence
 
@@ -57,23 +58,37 @@ from repro.core.router import (
 class _TxnState:
     """Planning-time bookkeeping for one transaction."""
 
-    __slots__ = ("index", "txn", "keys", "counts", "best_node", "best_count")
+    __slots__ = (
+        "index", "txn", "keys", "counts", "best_node", "best_count", "stamp"
+    )
 
-    def __init__(self, index: int, txn: Transaction) -> None:
+    def __init__(self, index: int, txn: Transaction, width: int) -> None:
         self.index = index
         self.txn = txn
         self.keys: tuple[Key, ...] = txn.ordered_keys
-        self.counts: dict[NodeId, int] = {}
+        #: per-node key counts, indexed by node id (node ids are dense
+        #: small ints, so a flat list beats a dict on every update).
+        self.counts: list[int] = [0] * width
         self.best_node: NodeId = 0
         self.best_count: int = -1
+        #: Bumped whenever ``counts`` changes; heap entries carry the
+        #: stamp they were pushed under so stale ones are skippable.
+        self.stamp = 0
 
-    def refresh_best(self, active: set[NodeId], fallback: NodeId) -> None:
-        """Recompute the active node owning most of this txn's keys."""
+    def refresh_best(
+        self, active_sorted: tuple[NodeId, ...], fallback: NodeId
+    ) -> None:
+        """Recompute the active node owning most of this txn's keys.
+
+        Scans active nodes in ascending order with a strict-improvement
+        test: the winner is the *smallest* active node holding the
+        (positive) maximum count, or ``fallback`` with count 0 when no
+        active node owns anything.
+        """
+        counts = self.counts
         best_node, best_count = fallback, 0
-        for node in sorted(self.counts):
-            if node not in active:
-                continue
-            count = self.counts[node]
+        for node in active_sorted:
+            count = counts[node]
             if count > best_count:
                 best_node, best_count = node, count
         self.best_node = best_node
@@ -152,32 +167,35 @@ class PrescientRouter(Router):
         """Return [(original index, master)] in execution (B′) order."""
         if not txns:
             return []
-        active = set(view.active_nodes)
+        active_sorted = tuple(sorted(view.active_nodes))
         fallback = view.active_nodes[0]
 
         # Resolve the whole batch's read/write sets in one bulk overlay
         # pass.  Distinct keys are collected in first-encounter order —
         # the exact order the per-key code consulted the overlay — so
         # LRU recency in the fusion table evolves identically.
-        states = [_TxnState(i, txn) for i, txn in enumerate(txns)]
         distinct: list[Key] = []
         seen: set[Key] = set()
-        for state in states:
-            for key in state.keys:
+        for txn in txns:
+            for key in txn.ordered_keys:
                 if key not in seen:
                     seen.add(key)
                     distinct.append(key)
-        base_owner: dict[Key, NodeId] = dict(
-            zip(distinct, view.ownership.owners_bulk(distinct))
-        )
+        owners = view.ownership.owners_bulk(distinct)
+        base_owner: dict[Key, NodeId] = dict(zip(distinct, owners))
+        # Count slots must cover every active node and every current
+        # owner (records can still sit on decommissioned nodes).
+        width = active_sorted[-1] + 1
+        if owners:
+            width = max(width, max(owners) + 1)
+        states = [_TxnState(i, txn, width) for i, txn in enumerate(txns)]
         inverted: dict[Key, list[int]] = {}
         for state in states:
             counts = state.counts
             for key in state.keys:
-                owner = base_owner[key]
-                counts[owner] = counts.get(owner, 0) + 1
+                counts[base_owner[key]] += 1
                 inverted.setdefault(key, []).append(state.index)
-            state.refresh_best(active, fallback)
+            state.refresh_best(active_sorted, fallback)
 
         scratch: dict[Key, NodeId] = {}
         # writer_history[k] = parallel lists of positions / master nodes of
@@ -185,8 +203,25 @@ class PrescientRouter(Router):
         writer_pos: dict[Key, list[int]] = {}
         writer_node: dict[Key, list[NodeId]] = {}
 
+        b = len(txns)
         order: list[tuple[int, NodeId]] = []
-        remaining = set(range(len(txns)))
+        selected = bytearray(b)
+        reorder = self.config.reorder
+
+        # Greedy selection used to re-scan every remaining transaction per
+        # position — O(b²) and the top hotspot of full-preset profiles.
+        # A lazy-deletion heap keyed by (remote_records, index) finds the
+        # same minimum: every count change bumps the state's stamp and
+        # pushes a fresh entry, so each state has exactly one *live* entry
+        # (stamp matches) whose remote count is current; stale and
+        # already-selected entries are skipped on pop.  Ties still break
+        # towards the smaller batch index, byte-for-byte the old order.
+        heap: list[tuple[int, int, int]] = []
+        if reorder:
+            heap = [(s.remote_records(), s.index, 0) for s in states]
+            heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         def apply_move(key: Key, new_owner: NodeId) -> None:
             old_owner = scratch.get(key, base_owner[key])
@@ -194,24 +229,31 @@ class PrescientRouter(Router):
                 return
             scratch[key] = new_owner
             for t_index in inverted[key]:
-                if t_index not in remaining:
+                if selected[t_index]:
                     continue
                 state = states[t_index]
-                state.counts[old_owner] = state.counts.get(old_owner, 0) - 1
-                state.counts[new_owner] = state.counts.get(new_owner, 0) + 1
-                state.refresh_best(active, fallback)
+                counts = state.counts
+                counts[old_owner] -= 1
+                counts[new_owner] += 1
+                state.refresh_best(active_sorted, fallback)
+                if reorder:
+                    state.stamp += 1
+                    heappush(
+                        heap,
+                        (state.remote_records(), t_index, state.stamp),
+                    )
 
-        for position in range(len(txns)):
-            if self.config.reorder:
-                chosen = min(
-                    remaining,
-                    key=lambda i: (states[i].remote_records(), i),
-                )
+        for position in range(b):
+            if reorder:
+                while True:
+                    _remote, chosen, stamp = heappop(heap)
+                    if not selected[chosen] and stamp == states[chosen].stamp:
+                        break
             else:
-                chosen = min(remaining)
+                chosen = position
             state = states[chosen]
             master = state.best_node
-            remaining.discard(chosen)
+            selected[chosen] = 1
             order.append((chosen, master))
             for key in state.txn.write_set:
                 apply_move(key, master)
@@ -331,12 +373,26 @@ class PrescientRouter(Router):
     ) -> TxnPlan:
         keys = txn.ordered_keys
         write_set = txn.write_set
-        reads_from: dict[NodeId, set[Key]] = {}
+        owners = view.ownership.owners_bulk(keys)
         migrations: list[Migration] = []
-        for key, location in zip(keys, view.ownership.owners_bulk(keys)):
-            reads_from.setdefault(location, set()).add(key)
-            if key in write_set and location != master:
-                migrations.append(Migration(key, location, master))
+        all_local = True
+        for location in owners:
+            if location != master:
+                all_local = False
+                break
+        if all_local:
+            # Converged placement: every key already lives at the master,
+            # so the footprint *is* the single serve group.
+            reads_from_sets = {master: txn.full_set}
+        else:
+            by_node: dict[NodeId, list[Key]] = {}
+            for key, location in zip(keys, owners):
+                by_node.setdefault(location, []).append(key)
+                if key in write_set and location != master:
+                    migrations.append(Migration(key, location, master))
+            reads_from_sets = {
+                n: frozenset(k) for n, k in by_node.items()
+            }
 
         # Apply the fusion updates, then derive evictions from the table's
         # *final* state: when the write-set exceeds the table's headroom, a
@@ -371,7 +427,7 @@ class PrescientRouter(Router):
         return TxnPlan(
             txn=txn,
             masters=(master,),
-            reads_from={n: frozenset(k) for n, k in reads_from.items()},
+            reads_from=reads_from_sets,
             writes_at=writes_at,
             migrations=tuple(migrations),
             evictions=tuple(evictions),

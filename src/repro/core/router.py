@@ -48,6 +48,11 @@ class DictOverlay:
     table's capacity bound fixes.)
     """
 
+    #: Lookups have no side effects, so cached owner tuples stay valid
+    #: until a mutation bumps the ownership version (contrast the fusion
+    #: table, whose ``get`` refreshes LRU recency).
+    pure_reads = True
+
     def __init__(self) -> None:
         self._map: dict[Key, NodeId] = {}
 
@@ -95,6 +100,23 @@ class OwnershipView:
         self._home_version = getattr(static, "version", 0)
         #: ownership changes registered over the run (observability).
         self.moves_recorded = 0
+        #: bumped on every overlay mutation routed through this view;
+        #: together with the static partitioner's version it forms the
+        #: :meth:`version_token` that footprint caches key on.
+        self._mutations = 0
+
+    def version_token(self) -> tuple[int, int]:
+        """Opaque token identifying the current placement state.
+
+        Changes whenever record placement can have changed: any overlay
+        mutation registered through this view (:meth:`record_move`,
+        :meth:`forget_overlay` — including fusion-table evictions, which
+        happen inside ``record_move``'s ``put``) or a static
+        re-partition (the partitioner's own ``version`` counter, bumped
+        by ``reassign``).  Owner tuples cached under an older token must
+        be discarded.
+        """
+        return (self._mutations, getattr(self.static, "version", 0))
 
     def _homes(self) -> dict[Key, NodeId]:
         """The home cache, invalidated if the partitioner changed."""
@@ -156,10 +178,66 @@ class OwnershipView:
         records only.  Returns any evictions the overlay performed.
         """
         self.moves_recorded += 1
+        self._mutations += 1
         if self.home(key) == dst:
             self.overlay.remove(key)
             return []
         return self.overlay.put(key, dst)
+
+    def forget_overlay(self, key: Key) -> None:
+        """Drop ``key``'s overlay entry (it reverts to its static home).
+
+        The version-bumping spelling of ``overlay.remove`` — callers
+        that clean up overlay entries directly must use this so cached
+        footprints are invalidated.
+        """
+        self._mutations += 1
+        self.overlay.remove(key)
+
+
+class FootprintCache:
+    """Per-transaction owner tuples, invalidated by placement version.
+
+    A transaction's *routing footprint* is the tuple of current owners
+    of its ``ordered_keys``.  Routers resolve it several times per
+    transaction (majority vote, then plan construction) and planners may
+    resolve it once more; this cache computes it once per
+    :meth:`OwnershipView.version_token` and replays the tuple until a
+    migration, overlay cleanup, or static re-partition bumps the token.
+
+    The cache only engages over pure-read overlays
+    (``overlay.pure_reads``): the fusion table's lookups refresh LRU
+    recency, so serving owners from a cache would change eviction order
+    — there the cache degrades to a plain ``owners_bulk`` pass-through.
+
+    Intended lifetime is one ``route_batch`` call: transaction ids are
+    unique, so a longer-lived cache over a mutation-free view would only
+    accumulate dead entries.
+    """
+
+    __slots__ = ("_view", "_active", "_token", "_map")
+
+    def __init__(self, view: OwnershipView) -> None:
+        self._view = view
+        self._active = getattr(view.overlay, "pure_reads", False)
+        self._token = view.version_token()
+        self._map: dict[int, tuple[NodeId, ...]] = {}
+
+    def owners(self, txn: Transaction) -> tuple[NodeId, ...]:
+        """Current owner of each of ``txn.ordered_keys``, in order."""
+        view = self._view
+        if not self._active:
+            return tuple(view.owners_bulk(txn.ordered_keys))
+        token = view.version_token()
+        if token != self._token:
+            self._map.clear()
+            self._token = token
+        footprint = self._map.get(txn.txn_id)
+        if footprint is None:
+            footprint = self._map[txn.txn_id] = tuple(
+                view.owners_bulk(txn.ordered_keys)
+            )
+        return footprint
 
 
 class ClusterView:
@@ -213,12 +291,22 @@ class Router(ABC):
 
 
 def count_by_owner(
-    txn: Transaction, view: ClusterView, keys: Iterable[Key] | None = None
+    txn: Transaction,
+    view: ClusterView,
+    keys: Iterable[Key] | None = None,
+    owners: Sequence[NodeId] | None = None,
 ) -> dict[NodeId, int]:
-    """How many of the transaction's keys each node currently owns."""
-    key_seq = tuple(keys) if keys is not None else txn.ordered_keys
+    """How many of the transaction's keys each node currently owns.
+
+    ``owners`` — a precomputed footprint aligned with ``keys`` (or with
+    ``txn.ordered_keys`` when ``keys`` is omitted) — skips the ownership
+    pass entirely.
+    """
+    if owners is None:
+        key_seq = tuple(keys) if keys is not None else txn.ordered_keys
+        owners = view.ownership.owners_bulk(key_seq)
     counts: dict[NodeId, int] = {}
-    for owner in view.ownership.owners_bulk(key_seq):
+    for owner in owners:
         counts[owner] = counts.get(owner, 0) + 1
     return counts
 
@@ -266,6 +354,7 @@ def build_single_master_plan(
     migrate_reads: bool = False,
     writeback_remote: bool = False,
     update_view: bool = True,
+    owners: Sequence[NodeId] | None = None,
 ) -> TxnPlan:
     """Construct a single-master :class:`TxnPlan` under a given policy.
 
@@ -284,9 +373,13 @@ def build_single_master_plan(
     """
     # One bulk ownership pass covers every loop below: the view is only
     # mutated afterwards (``update_view``), so all lookups see the same
-    # pre-transaction placement the per-key code did.
+    # pre-transaction placement the per-key code did.  A caller that
+    # already resolved the footprint (``owners``, aligned with
+    # ``ordered_keys``) skips the pass.
     keys = txn.ordered_keys
-    owner_of = dict(zip(keys, view.ownership.owners_bulk(keys)))
+    if owners is None:
+        owners = view.ownership.owners_bulk(keys)
+    owner_of = dict(zip(keys, owners))
     write_set = txn.write_set
 
     reads_from: dict[NodeId, set[Key]] = {}
@@ -335,16 +428,23 @@ def build_single_master_plan(
     return plan
 
 
-def build_multi_master_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
+def build_multi_master_plan(
+    txn: Transaction,
+    view: ClusterView,
+    owners: Sequence[NodeId] | None = None,
+) -> TxnPlan:
     """Construct Calvin's multi-master plan.
 
     Every node owning a written record is a master: it collects the
     remote reads, runs the transaction logic, and writes the records it
     owns.  Read-only transactions execute at the majority read owner.
-    No data moves permanently.
+    No data moves permanently.  ``owners`` — a precomputed footprint
+    aligned with ``txn.ordered_keys`` — skips the ownership pass.
     """
     keys = txn.ordered_keys
-    owner_of = dict(zip(keys, view.ownership.owners_bulk(keys)))
+    if owners is None:
+        owners = view.ownership.owners_bulk(keys)
+    owner_of = dict(zip(keys, owners))
     write_set = txn.write_set
 
     writer_nodes = sorted({owner_of[key] for key in write_set})
@@ -420,10 +520,10 @@ def build_chunk_migration_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
         # onto ``dst`` into redundant home entries; drop them so the
         # overlay keeps only genuinely displaced records.  (Moved keys
         # get the same cleanup through ``record_move`` below.)
-        overlay = view.ownership.overlay
+        forget = view.ownership.forget_overlay
         for key, owner in zip(chunk_keys, owners):
             if owner == chunk.dst and key not in moved_set:
-                overlay.remove(key)
+                forget(key)
     evictions: list[Migration] = []
     for key in moved:
         # After a static reassign the destination usually *is* the new

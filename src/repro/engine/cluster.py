@@ -18,13 +18,14 @@ states — ``tests/integration/test_determinism.py`` asserts exactly that.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import Batch, Key, NodeId, Transaction, TxnKind
 from repro.core.router import ClusterView, KeyOverlay, OwnershipView, Router
-from repro.engine.executor import TxnRuntime
+from repro.engine.executor import TxnRuntime, make_runtime
 from repro.engine.locks import LockManager
 from repro.engine.metrics import ClusterMetrics
 from repro.engine.node import Node
@@ -53,6 +54,7 @@ class Cluster:
         keep_command_log: bool = False,
         validate_plans: bool = False,
         tracer: "Tracer | None" = None,
+        dispatch_mode: str = "batched",
     ) -> None:
         self.config = config
         self.router = router
@@ -87,6 +89,20 @@ class Cluster:
         )
         self.command_log = CommandLog() if keep_command_log else None
         self.validate_plans = validate_plans
+        # Dispatch is prebound at construction: "batched" drains a whole
+        # epoch with the tracer/digest checks hoisted to one branch per
+        # batch; "single" retains the legacy per-event loop (kept as the
+        # differential-test reference — see tests/sanitize).
+        if dispatch_mode == "batched":
+            self._dispatch = self._dispatch_batched
+        elif dispatch_mode == "single":
+            self._dispatch = self._dispatch_single
+        else:
+            raise ConfigurationError(
+                f"unknown dispatch_mode {dispatch_mode!r} "
+                "(expected 'batched' or 'single')"
+            )
+        self.dispatch_mode = dispatch_mode
 
         self._next_seq = 0
         self._next_txn_id = 0
@@ -188,7 +204,7 @@ class Cluster:
         start = max(self.kernel.now, self._scheduler_free_at)
         done = start + routing_cost
         self._scheduler_free_at = done
-        self.kernel.call_later(done - self.kernel.now, self._dispatch,
+        self.kernel.call_later(done - self.kernel.now, self._dispatch_entry,
                                plan, t_sequenced)
         digest = self.kernel.digest
         if digest is not None:
@@ -287,16 +303,107 @@ class Cluster:
         """Batches parked in the reorder buffer (diagnostics)."""
         return len(self._reorder_buffer)
 
-    def _dispatch(self, plan, t_sequenced: float) -> None:
+    def _dispatch_entry(self, plan, t_sequenced: float) -> None:
+        """Mode-neutral dispatch entry point.
+
+        The kernel digest folds callback qualnames, so scheduling the
+        prebound ``self._dispatch`` directly would leak the dispatch
+        *mode* into the event stream and make batched-vs-single digest
+        comparison vacuous.  One extra call per batch is noise.
+        """
+        self._dispatch(plan, t_sequenced)
+
+    def _dispatch_batched(self, plan, t_sequenced: float) -> None:
+        """Drain one routed batch with instrumentation hoisted per batch.
+
+        With neither a tracer nor a digest bound, the loop below touches
+        only metrics, the lock manager, and the runtimes — the hot path.
+        Otherwise the instrumented twin runs, emitting exactly the notes
+        and trace events the legacy single-event path would, in the same
+        order (asserted by the sanitize differential suite).
+        """
+        digest = self.kernel.digest
+        tracer = self.tracer
+        if tracer is not None or digest is not None:
+            self._dispatch_instrumented(plan, t_sequenced, digest, tracer)
+            return
+        now = self.kernel.now
+        seq = self._next_seq
+        note_dispatch = self.metrics.note_dispatch
+        enqueue = self.lock_manager.enqueue
+        finished = self._runtime_finished
+        for txn_plan in plan:
+            seq += 1
+            txn = txn_plan.txn
+            kind = txn.kind
+            if kind is TxnKind.READ_ONLY or kind is TxnKind.READ_WRITE:
+                note_dispatch(txn_plan)
+            runtime = make_runtime(
+                self, txn_plan, seq, t_sequenced, now, finished
+            )
+            granted = runtime.on_lock_granted
+            if runtime.local_fast:
+                # Keyless grant counter — the bound method itself is the
+                # callback, no per-key closure.
+                for key, mode in runtime.lock_requests():
+                    enqueue(seq, key, mode, granted)
+            else:
+                for key, mode in runtime.lock_requests():
+                    enqueue(seq, key, mode, partial(granted, key))
+            runtime.start()
+        self._next_seq = seq
+
+    def _dispatch_instrumented(
+        self, plan, t_sequenced: float, digest, tracer
+    ) -> None:
+        now = self.kernel.now
+        seq = self._next_seq
+        note_dispatch = self.metrics.note_dispatch
+        enqueue = self.lock_manager.enqueue
+        finished = self._runtime_finished
+        for txn_plan in plan:
+            seq += 1
+            txn = txn_plan.txn
+            if digest is not None:
+                # Dispatch order assigns the lock-acquisition sequence:
+                # the exact ordering decision the lint's set-iteration
+                # rule protects, so it goes into the stream verbatim.
+                digest.note(
+                    "sched.dispatch", seq, txn.txn_id, txn_plan.coordinator
+                )
+            if not txn.is_system():
+                note_dispatch(txn_plan)
+            if tracer is not None:
+                tracer.txn_dispatched(
+                    seq, txn.txn_id, txn.kind.name,
+                    txn_plan.coordinator, tuple(sorted(txn_plan.masters)),
+                    txn.size,
+                )
+            runtime = make_runtime(
+                self, txn_plan, seq, t_sequenced, now, finished
+            )
+            granted = runtime.on_lock_granted
+            if runtime.local_fast:
+                for key, mode in runtime.lock_requests():
+                    enqueue(seq, key, mode, granted)
+            else:
+                for key, mode in runtime.lock_requests():
+                    enqueue(seq, key, mode, partial(granted, key))
+            runtime.start()
+        self._next_seq = seq
+
+    def _dispatch_single(self, plan, t_sequenced: float) -> None:
+        """Legacy per-event dispatch loop, preserved verbatim.
+
+        The differential suite replays identical workloads through this
+        path and ``_dispatch_batched`` and compares event digests.
+        """
         now = self.kernel.now
         tracer = self.tracer
         digest = self.kernel.digest
         for txn_plan in plan:
             self._next_seq += 1
             if digest is not None:
-                # Dispatch order assigns the lock-acquisition sequence:
-                # the exact ordering decision the lint's set-iteration
-                # rule protects, so it goes into the stream verbatim.
                 digest.note(
                     "sched.dispatch", self._next_seq, txn_plan.txn.txn_id,
                     txn_plan.coordinator,
@@ -310,20 +417,18 @@ class Cluster:
                     txn_plan.coordinator, tuple(sorted(txn_plan.masters)),
                     txn.size,
                 )
-            runtime = TxnRuntime(
-                cluster=self,
-                plan=txn_plan,
-                seq=self._next_seq,
-                t_sequenced=t_sequenced,
-                t_dispatched=now,
-                on_finished=self._runtime_finished,
+            runtime = make_runtime(
+                self, txn_plan, self._next_seq, t_sequenced, now,
+                self._runtime_finished,
             )
             for key, mode in runtime.lock_requests():
                 self.lock_manager.enqueue(
                     runtime.seq,
                     key,
                     mode,
-                    self._make_grant_callback(runtime, key),
+                    runtime.on_lock_granted
+                    if runtime.local_fast
+                    else self._make_grant_callback(runtime, key),
                 )
             runtime.start()
 

@@ -27,9 +27,10 @@ with the router's deterministic ownership view.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
-from repro.common.types import Key, NodeId
+from repro.common.types import Key, NodeId, TxnKind
 from repro.core.plan import TxnPlan
 from repro.engine.locks import LockMode
 from repro.sim.kernel import SimEvent
@@ -48,6 +49,19 @@ _STAGE_COMMIT = 1
 _STAGE_WRITEBACK = 2
 _STAGE_EVICT = 3
 
+# Hoisted enum members: LockMode.X in the classification loop is an
+# attribute walk per key, and the loop runs once per transaction.
+_S = LockMode.S
+_X = LockMode.X
+
+#: Shared empty migration index for the (dominant) migration-free case.
+#: Read-only — every consumer goes through ``.get``.
+_NO_MOVES: dict = {}
+
+
+def _item_repr_key(item) -> str:
+    return repr(item[0])
+
 
 class _LockGroup:
     """All lock requests a particular node-part waits on."""
@@ -63,6 +77,22 @@ class _LockGroup:
 
 class TxnRuntime:
     """Drives one transaction's plan through the simulated cluster."""
+
+    __slots__ = (
+        "cluster", "plan", "txn", "seq", "t_sequenced", "t_dispatched",
+        "on_finished", "committed", "aborted", "will_abort", "coordinator",
+        "t_locks", "t_serve_done", "t_data", "t_commit",
+        "_coord_serve_cpu", "_coord_apply_cpu", "_coord_logic_cpu",
+        "_commit_event", "_data_ready", "_inbox", "_values",
+        "_expected_from", "_received_from", "_migrated_by_src",
+        "_release_stage", "_lock_mode", "_lock_order_sorted",
+        "_all_groups", "_sole_group", "_evict_group", "_groups",
+        "_serve_done",
+    )
+
+    #: Grant callbacks take the granted key (see ``on_lock_granted``);
+    #: the single-node fast path uses a keyless counter instead.
+    local_fast = False
 
     def __init__(
         self,
@@ -85,62 +115,131 @@ class TxnRuntime:
 
         kernel = cluster.kernel
         self.coordinator = plan.coordinator
+        txn = self.txn
+        # Event/process names exist for trace readability; with no tracer
+        # bound nothing ever reads them, so the f-string per event is
+        # skipped (the single biggest allocation in TxnRuntime setup).
+        named = cluster.tracer is not None
+        txn_id = txn.txn_id
 
         # -- classify keys: lock mode and release stage ---------------------
-        self._release_stage: dict[Key, int] = {}
-        self._lock_mode: dict[Key, LockMode] = {}
-        migrated_keys = {m.key for m in plan.migrations}
-        write_set = self.txn.write_set
-        for key in self.txn.ordered_keys:
-            exclusive = key in write_set or key in migrated_keys
-            self._lock_mode[key] = LockMode.X if exclusive else LockMode.S
-            self._release_stage[key] = (
-                _STAGE_COMMIT if exclusive else _STAGE_READ
-            )
+        write_set = txn.write_set
+        ordered_keys = txn.ordered_keys
+        if plan.migrations:
+            migrated_keys = {m.key for m in plan.migrations}
+            release_stage: dict[Key, int] = {}
+            lock_mode: dict[Key, LockMode] = {}
+            for key in ordered_keys:
+                if key in write_set or key in migrated_keys:
+                    lock_mode[key] = _X
+                    release_stage[key] = _STAGE_COMMIT
+                else:
+                    lock_mode[key] = _S
+                    release_stage[key] = _STAGE_READ
+        elif len(write_set) == len(ordered_keys):
+            # Write-everything transactions (and, symmetrically,
+            # read-only ones below) classify in one C-level pass.
+            lock_mode = dict.fromkeys(ordered_keys, _X)
+            release_stage = dict.fromkeys(ordered_keys, _STAGE_COMMIT)
+        elif not write_set:
+            lock_mode = dict.fromkeys(ordered_keys, _S)
+            release_stage = dict.fromkeys(ordered_keys, _STAGE_READ)
+        else:
+            release_stage = {}
+            lock_mode = {}
+            for key in ordered_keys:
+                if key in write_set:
+                    lock_mode[key] = _X
+                    release_stage[key] = _STAGE_COMMIT
+                else:
+                    lock_mode[key] = _S
+                    release_stage[key] = _STAGE_READ
+        self._release_stage = release_stage
+        self._lock_mode = lock_mode
+        # ``lock_mode`` insertion follows ``ordered_keys`` (repr-sorted);
+        # only a writeback/eviction key from *outside* the footprint can
+        # break that order and force ``lock_requests`` to re-sort.
+        in_order = True
         for move in plan.writebacks:
-            self._lock_mode[move.key] = LockMode.X
-            self._release_stage[move.key] = _STAGE_WRITEBACK
+            key = move.key
+            if key not in lock_mode:
+                in_order = False
+            lock_mode[key] = _X
+            release_stage[key] = _STAGE_WRITEBACK
         for move in plan.evictions:
-            self._lock_mode[move.key] = LockMode.X
-            self._release_stage[move.key] = _STAGE_EVICT
+            key = move.key
+            if key not in lock_mode:
+                in_order = False
+            lock_mode[key] = _X
+            release_stage[key] = _STAGE_EVICT
+        self._lock_order_sorted = in_order
 
         # -- lock groups per serve location ---------------------------------
         self._groups: dict[NodeId, _LockGroup] = {}
+        all_groups: list[_LockGroup] = []
         for loc, keys in plan.reads_from.items():
             if keys:
-                self._groups[loc] = _LockGroup(
-                    keys, kernel.event(f"locks:{self.txn.txn_id}@{loc}")
+                group = _LockGroup(
+                    keys,
+                    kernel.event(f"locks:{txn_id}@{loc}" if named else ""),
                 )
-        eviction_keys = frozenset(m.key for m in plan.evictions)
+                self._groups[loc] = group
+                all_groups.append(group)
         self._evict_group: _LockGroup | None = None
-        if eviction_keys:
+        if plan.evictions:
+            eviction_keys = frozenset(m.key for m in plan.evictions)
             self._evict_group = _LockGroup(
-                eviction_keys, kernel.event(f"evlocks:{self.txn.txn_id}")
+                eviction_keys,
+                kernel.event(f"evlocks:{txn_id}" if named else ""),
             )
+            all_groups.append(self._evict_group)
+        self._all_groups = all_groups
+        # Fast path: when one group covers *every* locked key, grants
+        # skip the per-group membership scan entirely.  (Group keys are
+        # always a subset of ``lock_mode``, so equal sizes ⇒ coverage.)
+        self._sole_group = (
+            all_groups[0]
+            if len(all_groups) == 1
+            and len(all_groups[0].keys) == len(lock_mode)
+            else None
+        )
 
         # -- data-ready events per master ------------------------------------
-        self._migrated_by_src: dict[NodeId, list] = {}
-        for move in plan.migrations:
-            self._migrated_by_src.setdefault(move.src, []).append(move)
-        self._expected_from: dict[NodeId, set[NodeId]] = {}
-        for master in plan.masters:
-            self._expected_from[master] = {
-                loc for loc in plan.reads_from if loc != master
+        if plan.migrations:
+            by_src: dict[NodeId, list] = {}
+            for move in plan.migrations:
+                by_src.setdefault(move.src, []).append(move)
+            self._migrated_by_src = by_src
+        else:
+            self._migrated_by_src = _NO_MOVES
+        masters = plan.masters
+        reads_from = plan.reads_from
+        if len(masters) == 1:
+            master = masters[0]
+            expected = set(reads_from)
+            expected.discard(master)
+            self._expected_from = {master: expected}
+            self._data_ready = {
+                master: kernel.event(
+                    f"data:{txn_id}@{master}" if named else ""
+                )
             }
-        self._data_ready: dict[NodeId, SimEvent] = {
-            master: kernel.event(f"data:{self.txn.txn_id}@{master}")
-            for master in plan.masters
-        }
-        self._inbox: dict[NodeId, list[Record]] = {m: [] for m in plan.masters}
-        self._received_from: dict[NodeId, set[NodeId]] = {
-            m: set() for m in plan.masters
-        }
-        self._values: dict[NodeId, dict[Key, int]] = {
-            m: {} for m in plan.masters
-        }
+            self._inbox = {master: []}
+            self._received_from = {master: set()}
+            self._values = {master: {}}
+        else:
+            self._expected_from = {
+                m: {loc for loc in reads_from if loc != m} for m in masters
+            }
+            self._data_ready = {
+                m: kernel.event(f"data:{txn_id}@{m}" if named else "")
+                for m in masters
+            }
+            self._inbox = {m: [] for m in masters}
+            self._received_from = {m: set() for m in masters}
+            self._values = {m: {} for m in masters}
         self._serve_done: dict[NodeId, float] = {}
-        self._masters_pending = len(plan.masters)
-        self.will_abort = plan.txn.aborts
+        self.will_abort = txn.aborts
 
         # -- latency probe timestamps at the coordinator ---------------------
         self.t_locks: float | None = None
@@ -151,114 +250,166 @@ class TxnRuntime:
         self._coord_apply_cpu = 0.0
         self._coord_logic_cpu = 0.0
 
-        self.commit_event = kernel.event(f"commit:{self.txn.txn_id}")
+        # Created on first access: nothing inside the engine waits on
+        # commit, so the common case never allocates the event.
+        self._commit_event: SimEvent | None = None
+
+    @property
+    def commit_event(self) -> SimEvent:
+        """One-shot event triggered (with the runtime) at commit/abort."""
+        event = self._commit_event
+        if event is None:
+            named = self.cluster.tracer is not None
+            event = self.cluster.kernel.event(
+                f"commit:{self.txn.txn_id}" if named else ""
+            )
+            self._commit_event = event
+        return event
 
     # ------------------------------------------------------------------
     # Lock plumbing (called by the cluster's scheduler)
     # ------------------------------------------------------------------
 
     def lock_requests(self) -> list[tuple[Key, LockMode]]:
-        """Every (key, mode) this transaction must enqueue, deduplicated."""
-        return sorted(
-            self._lock_mode.items(), key=lambda item: repr(item[0])
-        )
+        """Every (key, mode) this transaction must enqueue, deduplicated.
+
+        Insertion order already follows the repr-sort for footprint keys;
+        re-sort only when an out-of-footprint writeback/eviction key broke
+        it (see ``__init__``).
+        """
+        items = list(self._lock_mode.items())
+        if self._lock_order_sorted:
+            return items
+        items.sort(key=_item_repr_key)
+        return items
 
     def on_lock_granted(self, key: Key) -> None:
-        """Callback from the lock manager; routes the grant to groups."""
-        for group in self._group_candidates():
+        """Callback from the lock manager; routes the grant to groups.
+
+        A key may belong to several groups (an eviction victim can also
+        be a read key), so every matching group is decremented.
+        """
+        sole = self._sole_group
+        if sole is not None:
+            sole.remaining -= 1
+            if sole.remaining == 0:
+                sole.granted_at = self.cluster.kernel.now
+                sole.event.trigger()
+            return
+        for group in self._all_groups:
             if key in group.keys:
                 group.remaining -= 1
                 if group.remaining == 0:
                     group.granted_at = self.cluster.kernel.now
                     group.event.trigger()
 
-    def _group_candidates(self):
-        yield from self._groups.values()
-        if self._evict_group is not None:
-            yield self._evict_group
-
     # ------------------------------------------------------------------
     # Launch: one process per serve location and per master
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        kernel = self.cluster.kernel
-        for loc in self.plan.reads_from:
-            if self.plan.reads_from[loc]:
-                kernel.process(
-                    self._serve_part(loc), name=f"serve:{self.txn.txn_id}@{loc}"
-                )
+        """Launch the per-location serve parts and per-master parts.
+
+        The parts run as callback chains rather than generator
+        processes.  Each chain hop mirrors the event structure of the
+        generator version exactly — the entry ``call_soon`` stands in
+        for the Process-start step, and worker completions re-defer
+        through ``call_soon`` just as the old done-event trigger did —
+        so the run-queue interleaving (and hence every golden) is
+        unchanged while the Process/SimEvent/generator machinery
+        disappears from the per-transaction cost.
+        """
+        call_soon = self.cluster.kernel.call_soon
+        reads_from = self.plan.reads_from
+        for loc in reads_from:
+            if reads_from[loc]:
+                call_soon(self._serve_entry, loc)
         for master in self.plan.masters:
-            kernel.process(
-                self._master_part(master),
-                name=f"master:{self.txn.txn_id}@{master}",
-            )
+            call_soon(self._master_entry, master)
 
     # ------------------------------------------------------------------
     # Phase: serve local reads at one location
     # ------------------------------------------------------------------
 
-    def _serve_part(self, loc: NodeId):
+    def _serve_entry(self, loc: NodeId) -> None:
+        self._groups[loc].event.add_waiter(partial(self._serve_locked, loc))
+
+    def _serve_locked(self, loc: NodeId, _value: object = None) -> None:
         cluster = self.cluster
+        kernel = cluster.kernel
         group = self._groups[loc]
-        yield group.event
         if loc == self.coordinator and self.t_locks is None:
             self.t_locks = group.granted_at
+        cpu = cluster.config.costs.local_access_us * len(group.keys)
+        cluster.nodes[loc].workers.submit(
+            cpu,
+            partial(
+                kernel.call_soon, self._serve_executed, loc, cpu, kernel.now
+            ),
+        )
 
-        keys = group.keys
-        costs = cluster.config.costs
-        cpu = costs.local_access_us * len(keys)
-        t_serve_start = cluster.kernel.now
-        done = cluster.kernel.event(f"served:{self.txn.txn_id}@{loc}")
-        cluster.nodes[loc].workers.submit(cpu, lambda: done.trigger())
-        yield done
-
+    def _serve_executed(
+        self, loc: NodeId, cpu: float, t_serve_start: float
+    ) -> None:
+        cluster = self.cluster
+        kernel = cluster.kernel
+        txn = self.txn
+        keys = self._groups[loc].keys
         tracer = cluster.tracer
         if tracer is not None:
-            tracer.serve(self.txn.txn_id, loc, t_serve_start, len(keys))
-        self._serve_done[loc] = cluster.kernel.now
+            tracer.serve(txn.txn_id, loc, t_serve_start, len(keys))
+        self._serve_done[loc] = kernel.now
         if loc == self.coordinator:
-            self.t_serve_done = cluster.kernel.now
+            self.t_serve_done = kernel.now
             self._coord_serve_cpu += cpu
 
-        # Physically detach records that migrate away from this location.
-        migrating = [
-            move for move in self._migrated_by_src.get(loc, ()) if move.src == loc
-        ]
-        migrating_keys = {move.key for move in migrating}
         store = cluster.nodes[loc].store
-        values: dict[Key, int] = {}
-        records = []
-        for move in migrating:
-            record = store.evict(move.key)
-            values[move.key] = record.value
-            records.append(record)
-        if migrating:
-            cluster.nodes[loc].records_migrated_out += len(migrating)
-        # Read (and sanity-check) every non-migrating key's value.
-        for key in keys:
-            if key not in migrating_keys:
-                values[key] = store.read(key).value
+        moves = self._migrated_by_src.get(loc)
+        if moves:
+            # Physically detach records that migrate away from here.
+            values: dict[Key, int] = {}
+            records: list[Record] = []
+            migrating = [move for move in moves if move.src == loc]
+            migrating_keys = {move.key for move in migrating}
+            for move in migrating:
+                record = store.evict(move.key)
+                values[move.key] = record.value
+                records.append(record)
+            if migrating:
+                cluster.nodes[loc].records_migrated_out += len(migrating)
+            for key in keys:
+                if key not in migrating_keys:
+                    values[key] = store.read(key).value
+        else:
+            read = store.read
+            values = {key: read(key).value for key in keys}
+            records = []
 
-        record_bytes = self.txn.profile.record_bytes
-        payload = CONTROL_BYTES + record_bytes * len(keys)
-        for master in self.plan.masters:
-            if master == loc:
-                continue
-            shipped = records if master == self.coordinator else []
-            cluster.network.send_reliable(
-                loc,
-                master,
-                payload,
-                self._make_delivery(master, loc, shipped, values),
-                cluster.config.retry,
-                describe=f"remote read txn {self.txn.txn_id}",
-            )
-            cluster.metrics.remote_reads += len(keys)
-            if tracer is not None:
-                tracer.remote_read(
-                    self.txn.txn_id, loc, master, len(keys), payload
+        masters = self.plan.masters
+        if len(masters) > 1 or masters[0] != loc:
+            record_bytes = txn.profile.record_bytes
+            payload = CONTROL_BYTES + record_bytes * len(keys)
+            send_reliable = cluster.network.send_reliable
+            retry = cluster.config.retry
+            metrics = cluster.metrics
+            coordinator = self.coordinator
+            for master in masters:
+                if master == loc:
+                    continue
+                shipped = records if master == coordinator else []
+                send_reliable(
+                    loc,
+                    master,
+                    payload,
+                    self._make_delivery(master, loc, shipped, values),
+                    retry,
+                    describe=f"remote read txn {txn.txn_id}",
                 )
+                metrics.remote_reads += len(keys)
+                if tracer is not None:
+                    tracer.remote_read(
+                        txn.txn_id, loc, master, len(keys), payload
+                    )
 
         # The master's own serve completion also feeds its data-ready gate.
         if loc in self.plan.masters:
@@ -313,22 +464,30 @@ class TxnRuntime:
     # Phase: master execution (logic + writes + commit)
     # ------------------------------------------------------------------
 
-    def _master_part(self, master: NodeId):
-        cluster = self.cluster
-        costs = cluster.config.costs
-
+    def _master_entry(self, master: NodeId) -> None:
         group = self._groups.get(master)
         if group is not None:
-            yield group.event
+            group.event.add_waiter(partial(self._master_locked, master))
+        else:
+            self._master_locked(master)
+
+    def _master_locked(self, master: NodeId, _value: object = None) -> None:
         if master == self.coordinator and self.t_locks is None:
+            group = self._groups.get(master)
             self.t_locks = (
                 group.granted_at if group is not None else self.t_dispatched
             )
-
         self._maybe_data_ready(master)
-        yield self._data_ready[master]
+        self._data_ready[master].add_waiter(
+            partial(self._master_data, master)
+        )
+
+    def _master_data(self, master: NodeId, _value: object = None) -> None:
+        cluster = self.cluster
+        kernel = cluster.kernel
+        costs = cluster.config.costs
         if master == self.coordinator:
-            self.t_data = cluster.kernel.now
+            self.t_data = kernel.now
 
         txn = self.txn
         incoming = self._inbox[master]
@@ -343,23 +502,37 @@ class TxnRuntime:
         if txn.aborts:
             apply_cpu += costs.local_access_us * len(local_writes)
 
-        t_exec_start = cluster.kernel.now
-        done = cluster.kernel.event(f"executed:{txn.txn_id}@{master}")
         cluster.nodes[master].workers.submit(
-            logic_cpu + apply_cpu, lambda: done.trigger()
+            logic_cpu + apply_cpu,
+            partial(
+                kernel.call_soon, self._master_executed,
+                master, logic_cpu, apply_cpu, kernel.now,
+            ),
         )
-        yield done
 
+    def _master_executed(
+        self,
+        master: NodeId,
+        logic_cpu: float,
+        apply_cpu: float,
+        t_exec_start: float,
+    ) -> None:
+        cluster = self.cluster
+        txn = self.txn
+        incoming = self._inbox[master]
+        local_writes = self.plan.writes_at.get(master, frozenset())
+        node = cluster.nodes[master]
         tracer = cluster.tracer
         if tracer is not None:
             tracer.execute(
                 txn.txn_id, master, t_exec_start,
                 logic_cpu, apply_cpu, len(incoming),
             )
-        node = cluster.nodes[master]
-        for record in incoming:
-            node.store.install(record)
-        node.records_migrated_in += len(incoming)
+        if incoming:
+            install = node.store.install
+            for record in incoming:
+                install(record)
+            node.records_migrated_in += len(incoming)
 
         # OLLP footprint validation (Section 2.1): re-derive the
         # transaction's footprint from the *locked* read-set values; a
@@ -370,9 +543,21 @@ class TxnRuntime:
             if not txn.validator(self._make_value_reader(master)):
                 self.will_abort = True
 
-        for key in sorted(local_writes, key=repr):
-            pre_image = node.store.write(key, txn.txn_id)
-            node.undo_log.save(txn.txn_id, pre_image)
+        if local_writes:
+            # ``ordered_keys`` is already repr-sorted and writes are a
+            # subset of the footprint, so filtering it preserves the
+            # deterministic write order without re-sorting.
+            write = node.store.write
+            save = node.undo_log.save
+            txn_id = txn.txn_id
+            if len(local_writes) == 1:
+                ordered_writes = local_writes
+            else:
+                ordered_writes = [
+                    k for k in txn.ordered_keys if k in local_writes
+                ]
+            for key in ordered_writes:
+                save(txn_id, write(key, txn_id))
         if self.will_abort:
             node.undo_log.rollback(txn.txn_id, node.store)
         else:
@@ -385,13 +570,15 @@ class TxnRuntime:
 
         release_keys = set(local_writes)
         release_keys.update(r.key for r in incoming)
-        owned_here = self.plan.reads_from.get(master, frozenset())
-        release_keys.update(
-            k
-            for k in owned_here
-            if self._release_stage.get(k) == _STAGE_COMMIT
-        )
-        self._release_stage_keys(master, frozenset(release_keys), _STAGE_COMMIT)
+        owned_here = self.plan.reads_from.get(master)
+        if owned_here:
+            release_stage = self._release_stage
+            release_keys.update(
+                k
+                for k in owned_here
+                if release_stage.get(k) == _STAGE_COMMIT
+            )
+        self._release_stage_keys(master, release_keys, _STAGE_COMMIT)
 
     # ------------------------------------------------------------------
     # Commit and post-commit work (coordinator only)
@@ -436,12 +623,15 @@ class TxnRuntime:
                 self.txn.txn_id, self.coordinator, self.aborted,
                 stages=self.latency_stages() if self.committed else None,
             )
-        self.commit_event.trigger(self)
+        if self._commit_event is not None:
+            self._commit_event.trigger(self)
         self._start_writebacks()
         self._start_evictions()
         self.on_finished(self)
 
     def _start_writebacks(self) -> None:
+        if not self.plan.writebacks:
+            return
         cluster = self.cluster
         by_dst: dict[NodeId, list] = {}
         for move in self.plan.writebacks:
@@ -566,11 +756,16 @@ class TxnRuntime:
     # ------------------------------------------------------------------
 
     def _release_stage_keys(
-        self, node: NodeId, keys: frozenset[Key], stage: int
+        self, node: NodeId, keys: frozenset[Key] | set[Key], stage: int
     ) -> None:
-        for key in sorted(keys, key=repr):
-            if self._release_stage.get(key) == stage:
-                self.cluster.lock_manager.release(self.seq, key)
+        release_stage = self._release_stage
+        release = self.cluster.lock_manager.release
+        seq = self.seq
+        if len(keys) > 1:
+            keys = sorted(keys, key=repr)
+        for key in keys:
+            if release_stage.get(key) == stage:
+                release(seq, key)
 
     # ------------------------------------------------------------------
     # Latency breakdown (Figure 7 buckets)
@@ -600,3 +795,297 @@ class TxnRuntime:
         if self.t_commit is None:
             return 0.0
         return self.t_commit - self.txn.arrival_time
+
+
+class LocalTxnRuntime:
+    """Single-node fast path: one master that serves every key locally.
+
+    Eligible plans (see :func:`make_runtime`) have exactly one master,
+    read only at that master, and carry no migrations, writebacks,
+    evictions, or OLLP validator — the dominant plan shape under every
+    routing strategy once placement converges.  The chain below replays
+    :class:`TxnRuntime`'s callback structure hop for hop (the same
+    ``call_soon``/timer count in the same order), so kernel
+    interleavings — and hence the integration goldens — are unchanged;
+    what it sheds is the SimEvent, lock-group, and per-master dict
+    machinery that only distributed plans need.
+    """
+
+    local_fast = True
+
+    __slots__ = (
+        "cluster", "plan", "txn", "seq", "t_sequenced", "t_dispatched",
+        "on_finished", "committed", "aborted", "will_abort",
+        "coordinator", "_keys",
+        "t_locks", "t_serve_done", "t_data", "t_commit",
+        "_coord_serve_cpu", "_coord_apply_cpu", "_coord_logic_cpu",
+        "_ungranted", "_granted_at", "_serve_parked", "_master_parked",
+        "_master_waiting", "_data_arrived",
+    )
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        plan: TxnPlan,
+        seq: int,
+        t_sequenced: float,
+        t_dispatched: float,
+        on_finished: Callable,
+    ) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        txn = plan.txn
+        self.txn = txn
+        self.seq = seq
+        self.t_sequenced = t_sequenced
+        self.t_dispatched = t_dispatched
+        self.on_finished = on_finished
+        self.committed = False
+        self.aborted = False
+        self.will_abort = txn.aborts
+        master = plan.masters[0]
+        self.coordinator = master
+        self._keys = plan.reads_from[master]
+        self._ungranted = len(txn.ordered_keys)
+        self._granted_at = 0.0
+        self._serve_parked = False
+        self._master_parked = False
+        self._master_waiting = False
+        self._data_arrived = False
+        self.t_locks: float | None = None
+        self.t_serve_done: float | None = None
+        self.t_data: float | None = None
+        self.t_commit: float | None = None
+        self._coord_serve_cpu = 0.0
+        self._coord_apply_cpu = 0.0
+        self._coord_logic_cpu = 0.0
+
+    # -- lock plumbing --------------------------------------------------
+
+    def lock_requests(self) -> list[tuple[Key, LockMode]]:
+        """(key, mode) pairs in deterministic (repr-sorted) order."""
+        ws = self.txn.write_set
+        ordered = self.txn.ordered_keys
+        if ws:
+            return [(k, _X if k in ws else _S) for k in ordered]
+        return [(k, _S) for k in ordered]
+
+    def on_lock_granted(self) -> None:
+        """Keyless grant counter: with a single lock group covering the
+        whole footprint, only the count matters."""
+        self._ungranted -= 1
+        if self._ungranted == 0:
+            kernel = self.cluster.kernel
+            self._granted_at = kernel.now
+            # Waiters wake in registration order (serve, then master),
+            # matching the generic runtime's SimEvent trigger.
+            if self._serve_parked:
+                kernel.call_soon(self._serve_body)
+            if self._master_parked:
+                kernel.call_soon(self._master_locked)
+
+    # -- the chain ------------------------------------------------------
+
+    def start(self) -> None:
+        call_soon = self.cluster.kernel.call_soon
+        call_soon(self._serve_entry)
+        call_soon(self._master_entry)
+
+    def _serve_entry(self) -> None:
+        # Mirrors add_waiter on the lock-group event: already granted →
+        # one more hop through the run queue; otherwise park.
+        if self._ungranted == 0:
+            self.cluster.kernel.call_soon(self._serve_body)
+        else:
+            self._serve_parked = True
+
+    def _master_entry(self) -> None:
+        if self._ungranted == 0:
+            self.cluster.kernel.call_soon(self._master_locked)
+        else:
+            self._master_parked = True
+
+    def _serve_body(self) -> None:
+        cluster = self.cluster
+        kernel = cluster.kernel
+        if self.t_locks is None:
+            self.t_locks = self._granted_at
+        cpu = cluster.config.costs.local_access_us * len(self._keys)
+        cluster.nodes[self.coordinator].workers.submit(
+            cpu,
+            partial(kernel.call_soon, self._serve_executed, cpu, kernel.now),
+        )
+
+    def _serve_executed(self, cpu: float, t_serve_start: float) -> None:
+        cluster = self.cluster
+        kernel = cluster.kernel
+        master = self.coordinator
+        keys = self._keys
+        tracer = cluster.tracer
+        if tracer is not None:
+            tracer.serve(self.txn.txn_id, master, t_serve_start, len(keys))
+        self.t_serve_done = kernel.now
+        self._coord_serve_cpu += cpu
+        read = cluster.nodes[master].store.read
+        for key in keys:
+            read(key)
+        # Data-ready: the master's own serve is its only input.  The
+        # master part always parks first (its entry hop runs before the
+        # serve burst timer can fire), but mirror the triggered-event
+        # path anyway.
+        if self._master_waiting:
+            kernel.call_soon(self._master_data)
+        else:
+            self._data_arrived = True
+        # Release read-stage keys, in the same repr-sorted order the
+        # generic runtime uses (``ordered_keys`` is already sorted).
+        ws = self.txn.write_set
+        release = cluster.lock_manager.release
+        seq = self.seq
+        if ws:
+            for key in self.txn.ordered_keys:
+                if key not in ws:
+                    release(seq, key)
+        else:
+            for key in self.txn.ordered_keys:
+                release(seq, key)
+
+    def _master_locked(self) -> None:
+        if self.t_locks is None:
+            self.t_locks = self._granted_at
+        if self._data_arrived:
+            self.cluster.kernel.call_soon(self._master_data)
+        else:
+            self._master_waiting = True
+
+    def _master_data(self) -> None:
+        cluster = self.cluster
+        kernel = cluster.kernel
+        costs = cluster.config.costs
+        self.t_data = kernel.now
+        txn = self.txn
+        local_writes = self.plan.writes_at.get(self.coordinator)
+        num_writes = len(local_writes) if local_writes else 0
+        logic_cpu = (
+            costs.logic_us_per_record * txn.size * txn.profile.logic_factor
+        )
+        apply_cpu = costs.local_access_us * num_writes
+        if txn.aborts:
+            apply_cpu += costs.local_access_us * num_writes
+        cluster.nodes[self.coordinator].workers.submit(
+            logic_cpu + apply_cpu,
+            partial(
+                kernel.call_soon, self._master_executed,
+                logic_cpu, apply_cpu, kernel.now,
+            ),
+        )
+
+    def _master_executed(
+        self, logic_cpu: float, apply_cpu: float, t_exec_start: float
+    ) -> None:
+        cluster = self.cluster
+        txn = self.txn
+        master = self.coordinator
+        node = cluster.nodes[master]
+        tracer = cluster.tracer
+        if tracer is not None:
+            tracer.execute(
+                txn.txn_id, master, t_exec_start, logic_cpu, apply_cpu, 0
+            )
+        local_writes = self.plan.writes_at.get(master)
+        txn_id = txn.txn_id
+        if local_writes:
+            write = node.store.write
+            save = node.undo_log.save
+            if len(local_writes) == 1:
+                ordered_writes = local_writes
+            else:
+                ordered_writes = [
+                    k for k in txn.ordered_keys if k in local_writes
+                ]
+            for key in ordered_writes:
+                save(txn_id, write(key, txn_id))
+        if self.will_abort:
+            node.undo_log.rollback(txn_id, node.store)
+        else:
+            node.undo_log.forget(txn_id)
+        self._coord_logic_cpu = logic_cpu
+        self._coord_apply_cpu = apply_cpu
+        self._commit(node)
+        # Commit-stage releases are exactly the write set (eligibility
+        # rules out migrations/writebacks/evictions), in repr order.
+        ws = txn.write_set
+        if ws:
+            release = cluster.lock_manager.release
+            seq = self.seq
+            if len(ws) == 1:
+                for key in ws:
+                    release(seq, key)
+            else:
+                for key in txn.ordered_keys:
+                    if key in ws:
+                        release(seq, key)
+
+    def _commit(self, node) -> None:
+        cluster = self.cluster
+        self.t_commit = cluster.kernel.now
+        if self.will_abort:
+            self.aborted = True
+            cluster.metrics.aborts += 1
+        else:
+            self.committed = True
+            node.commits += 1
+            cluster.metrics.note_commit(self)
+        tracer = cluster.tracer
+        if tracer is not None:
+            tracer.commit(
+                self.txn.txn_id, self.coordinator, self.aborted,
+                stages=self.latency_stages() if self.committed else None,
+            )
+        self.on_finished(self)
+
+    # Same timestamps, same buckets — reuse the generic implementation.
+    latency_stages = TxnRuntime.latency_stages
+    total_latency = TxnRuntime.total_latency
+
+
+def make_runtime(
+    cluster: "Cluster",
+    plan: TxnPlan,
+    seq: int,
+    t_sequenced: float,
+    t_dispatched: float,
+    on_finished: Callable,
+) -> "TxnRuntime | LocalTxnRuntime":
+    """Pick the cheapest runtime able to execute ``plan``.
+
+    Every dispatch path (batched, instrumented, and the legacy
+    single-event reference) must make the same choice: the event digest
+    folds callback names, so the sanitize differential suite would
+    flag any divergence between modes.
+    """
+    txn = plan.txn
+    masters = plan.masters
+    if (
+        len(masters) == 1
+        and not plan.migrations
+        and not plan.writebacks
+        and not plan.evictions
+        and txn.validator is None
+        and (
+            txn.kind is TxnKind.READ_ONLY or txn.kind is TxnKind.READ_WRITE
+        )
+        and len(plan.reads_from) == 1
+        and len(plan.reads_from.get(masters[0], ())) == len(txn.ordered_keys)
+    ):
+        return LocalTxnRuntime(
+            cluster, plan, seq, t_sequenced, t_dispatched, on_finished
+        )
+    return TxnRuntime(
+        cluster=cluster,
+        plan=plan,
+        seq=seq,
+        t_sequenced=t_sequenced,
+        t_dispatched=t_dispatched,
+        on_finished=on_finished,
+    )

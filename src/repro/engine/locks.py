@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
+from itertools import islice
 from typing import TYPE_CHECKING, Callable
 
 from repro.common.errors import SimulationError
@@ -43,6 +44,14 @@ class LockMode(enum.Enum):
 
     S = "S"
     X = "X"
+
+
+_XM = LockMode.X
+
+#: Cap on pooled (empty) key queues kept for reuse.  Uniform workloads
+#: churn one queue per key per transaction; reusing the dict/deque pair
+#: keeps the dominant lock path allocation-free.
+_POOL_MAX = 512
 
 
 class _Request:
@@ -85,6 +94,7 @@ class LockManager:
         self, tracer: "Tracer | None" = None, digest: object | None = None
     ) -> None:
         self._queues: dict[Key, _KeyQueue] = {}
+        self._pool: list[_KeyQueue] = []
         self.grants_total = 0
         self.waits_total = 0
         self.tracer = tracer
@@ -110,7 +120,8 @@ class LockManager:
         """
         queue = self._queues.get(key)
         if queue is None:
-            queue = _KeyQueue()
+            pool = self._pool
+            queue = pool.pop() if pool else _KeyQueue()
             self._queues[key] = queue
         if seq <= queue.last_enqueued:
             raise SimulationError(
@@ -118,22 +129,37 @@ class LockManager:
                 f"{queue.last_enqueued}"
             )
         queue.last_enqueued = seq
-        request = _Request(seq, mode, on_granted)
-        if not queue.waiting and self._compatible(queue, mode):
-            self._grant(queue, request, key)
+        holders = queue.holders
+        if not queue.waiting and (
+            not holders if mode is _XM else queue.exclusive_holders == 0
+        ):
+            # Immediate grant: no wait bookkeeping, no _Request object.
+            holders[seq] = mode
+            if mode is _XM:
+                queue.exclusive_holders += 1
+            self.grants_total += 1
+            digest = self.digest
+            if digest is not None:
+                digest.note("lock.grant", seq, mode.value, key)
+            on_granted()
         else:
+            request = _Request(seq, mode, on_granted)
             tracer = self.tracer
             if tracer is not None:
                 # Record who this request is directly behind *now*; the
                 # wait span itself is emitted at grant time.  Blockers
                 # always carry smaller seqs (in-order enqueue), which is
-                # what keeps reconstructed wait chains acyclic.
+                # what keeps reconstructed wait chains acyclic.  Holders
+                # iterate in ascending seq (FIFO grants of in-order
+                # requests; releases never reorder survivors), so the
+                # first ``_MAX_BLOCKERS`` iterated *are* the smallest —
+                # only the capped snapshot is ever sorted.
                 request.wait_from = tracer.now()
-                blockers = sorted(queue.holders)[:_MAX_BLOCKERS]
+                blockers = sorted(islice(holders, _MAX_BLOCKERS))
                 if queue.waiting and len(blockers) < _MAX_BLOCKERS:
                     blockers.append(queue.waiting[-1].seq)
                 request.blockers = blockers
-                request.holders_seen = len(queue.holders)
+                request.holders_seen = len(holders)
             queue.waiting.append(request)
             self.waits_total += 1
 
@@ -147,12 +173,19 @@ class LockManager:
             raise SimulationError(
                 f"txn seq {seq} does not hold a granted lock on {key!r}"
             )
-        if mode is LockMode.X:
+        if mode is _XM:
             queue.exclusive_holders -= 1
-        while queue.waiting and self._compatible(queue, queue.waiting[0].mode):
-            self._grant(queue, queue.waiting.popleft(), key)
-        if queue.empty():
+        waiting = queue.waiting
+        if waiting:
+            grant = self._grant
+            while waiting and self._compatible(queue, waiting[0].mode):
+                grant(queue, waiting.popleft(), key)
+        if not queue.holders and not waiting:
             del self._queues[key]
+            pool = self._pool
+            if len(pool) < _POOL_MAX:
+                queue.last_enqueued = -1
+                pool.append(queue)
 
     @staticmethod
     def _compatible(queue: _KeyQueue, mode: LockMode) -> bool:

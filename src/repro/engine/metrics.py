@@ -107,6 +107,18 @@ class ClusterMetrics:
         background movement (writebacks, evictions) does not count.
         """
         self._user_txns.inc()
+        masters = plan.masters
+        if len(masters) == 1:
+            # Single-master short-circuit: local iff reads and writes
+            # both stay at the master (the dominant converged case) —
+            # skips building the execution-node set per dispatch.
+            master = masters[0]
+            reads = plan.reads_from
+            writes = plan.writes_at
+            if (not reads or (len(reads) == 1 and master in reads)) and (
+                not writes or (len(writes) == 1 and master in writes)
+            ):
+                return
         if len(plan.execution_nodes()) > 1:
             self._distributed_txns.inc()
 

@@ -17,7 +17,7 @@ from typing import Callable
 from repro.common.config import ClusterConfig
 from repro.common.errors import SimulationError
 from repro.common.types import NodeId
-from repro.sim.kernel import Kernel, SimEvent
+from repro.sim.kernel import Kernel
 from repro.sim.stats import WindowedRate
 from repro.storage.store import RecordStore
 from repro.storage.wal import UndoLog
@@ -32,7 +32,14 @@ class _Task:
 
 
 class WorkerPool:
-    """FIFO pool of ``num_workers`` CPU servers on one node."""
+    """FIFO pool of ``num_workers`` CPU servers on one node.
+
+    Implemented as a counter-based callback scheduler rather than
+    generator processes: a task that finds a free server schedules its
+    completion timer directly, and each completion starts the next
+    queued task.  This keeps one kernel timer per task (the burst
+    itself) with no wake events or generator resumptions in between.
+    """
 
     def __init__(
         self,
@@ -47,12 +54,10 @@ class WorkerPool:
         self.node_id = node_id
         self.num_workers = num_workers
         self._tasks: deque[_Task] = deque()
-        self._idle: deque[SimEvent] = deque()
+        self._busy_workers = 0
         self.busy_us_total = 0.0
         self.busy_rate = WindowedRate(f"busy:{node_id}", busy_window_us)
         self.slowdown = 1.0
-        for index in range(num_workers):
-            kernel.process(self._worker(), name=f"worker:{node_id}:{index}")
 
     def set_slowdown(self, factor: float) -> None:
         """Scale every subsequent CPU burst by ``factor`` (>= 1).
@@ -70,12 +75,14 @@ class WorkerPool:
         """Queue a CPU burst; ``done`` fires when it finishes."""
         if cpu_us < 0:
             raise SimulationError("task CPU time must be >= 0")
-        task = _Task(cpu_us, done)
-        if self._idle:
-            wake = self._idle.popleft()
-            wake.trigger(task)
+        if self._busy_workers < self.num_workers:
+            self._busy_workers += 1
+            # Slowdown is sampled when the burst starts, so a straggler
+            # window stretches exactly the work that ran inside it.
+            cost = cpu_us * self.slowdown
+            self.kernel.call_later_unhandled(cost, self._finish, cost, done)
         else:
-            self._tasks.append(task)
+            self._tasks.append(_Task(cpu_us, done))
 
     def charge_background_cpu(self, cpu_us: float) -> None:
         """Account CPU consumed outside the worker pool (scheduler work).
@@ -89,23 +96,19 @@ class WorkerPool:
         self.busy_us_total += cpu_us
         self.busy_rate.record(self.kernel.now, cpu_us)
 
-    def _worker(self):
-        while True:
-            if self._tasks:
-                task = self._tasks.popleft()
-            else:
-                wake = self.kernel.event()
-                self._idle.append(wake)
-                task = yield wake
-            from repro.sim.kernel import Delay
-
-            # Slowdown is sampled when the burst starts, so a straggler
-            # window stretches exactly the work that ran inside it.
-            cost = task.cpu_us * self.slowdown
-            yield Delay(cost)
-            self.busy_us_total += cost
-            self.busy_rate.record(self.kernel.now, cost)
-            task.done()
+    def _finish(self, cost: float, done: Callable[[], None]) -> None:
+        self.busy_us_total += cost
+        self.busy_rate.record(self.kernel.now, cost)
+        done()
+        tasks = self._tasks
+        if tasks:
+            task = tasks.popleft()
+            next_cost = task.cpu_us * self.slowdown
+            self.kernel.call_later_unhandled(
+                next_cost, self._finish, next_cost, task.done
+            )
+        else:
+            self._busy_workers -= 1
 
     def queued(self) -> int:
         """Tasks waiting for a worker (diagnostics)."""

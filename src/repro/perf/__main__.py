@@ -18,6 +18,9 @@ Usage::
 
     # profile the hot paths
     PYTHONPATH=src python -m repro.perf --profile --bench kernel_e2e
+
+    # print the per-scenario events/s trajectory across history entries
+    PYTHONPATH=src python -m repro.perf --trend BENCH_sim.json
 """
 
 from __future__ import annotations
@@ -83,10 +86,20 @@ def normalized(results: dict[str, dict]) -> dict[str, float]:
 
 
 def compare(
-    current: dict[str, dict], baseline_entry: dict, tolerance: float
+    current: dict[str, dict],
+    baseline_entry: dict,
+    tolerance: float,
+    per_scenario: dict[str, float] | None = None,
 ) -> list[str]:
-    """Return a list of regression messages (empty when the gate passes)."""
+    """Return a list of regression messages (empty when the gate passes).
+
+    ``per_scenario`` overrides the blanket ``tolerance`` for individual
+    benches — the end-to-end scenarios have more run-to-run spread than
+    the microbenches, so CI grants them a looser band without loosening
+    the kernel gates.
+    """
     problems: list[str] = []
+    overrides = per_scenario or {}
     base_norm = normalized(baseline_entry.get("benches", {}))
     cur_norm = normalized(current)
     if not base_norm or not cur_norm:
@@ -94,15 +107,68 @@ def compare(
     for name in GATED:
         if name not in base_norm or name not in cur_norm:
             continue
-        floor = base_norm[name] * (1.0 - tolerance)
+        allowed = overrides.get(name, tolerance)
+        floor = base_norm[name] * (1.0 - allowed)
         if cur_norm[name] < floor:
             problems.append(
                 f"{name}: normalized score {cur_norm[name]:.3f} < "
                 f"{floor:.3f} (baseline {base_norm[name]:.3f} "
-                f"- {tolerance:.0%} tolerance)"
+                f"- {allowed:.0%} tolerance)"
             )
     problems.extend(check_tracer_overhead(current))
     return problems
+
+
+def trend(history: list[dict]) -> str:
+    """Per-scenario events/s across history entries, grouped by scale.
+
+    One table per recorded scale, scenarios as rows and history entries
+    as columns — the shape that makes a multi-PR slide (like the PR 3-4
+    routing regression) visible at a glance.  Raw events/s are shown;
+    cross-machine drift shows up in the ``calibration`` row, so a bench
+    falling while calibration holds is a real regression.
+    """
+    scales = sorted({e.get("scale") for e in history}, reverse=True)
+    lines: list[str] = []
+    for scale in scales:
+        entries = [e for e in history if e.get("scale") == scale]
+        labels = [e.get("label", "<unlabeled>") for e in entries]
+        names: list[str] = []
+        for entry in entries:
+            for name in entry.get("benches", {}):
+                if name not in names:
+                    names.append(name)
+        lines.append(f"scale={scale}  ({len(entries)} entries)")
+        width = max((len(label) for label in labels), default=8)
+        width = min(max(width, 10), 24)
+        header = "  " + " " * 18 + "".join(
+            f"{label[:width]:>{width + 2}}" for label in labels
+        )
+        lines.append(header)
+        for name in names:
+            cells = []
+            for entry in entries:
+                data = entry.get("benches", {}).get(name)
+                cells.append(
+                    f"{data['events_per_s']:>{width + 2},.0f}"
+                    if data else " " * (width + 2)
+                )
+            lines.append(f"  {name:<18}" + "".join(cells))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def parse_tolerance_overrides(specs: list[str]) -> dict[str, float]:
+    """Parse ``name=frac`` strings into a per-scenario tolerance map."""
+    overrides: dict[str, float] = {}
+    for spec in specs:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            raise ValueError(f"--tolerance-for needs name=frac, got {spec!r}")
+        if name not in SCENARIOS:
+            raise ValueError(f"--tolerance-for: unknown bench {name!r}")
+        overrides[name] = float(value)
+    return overrides
 
 
 def check_tracer_overhead(current: dict[str, dict]) -> list[str]:
@@ -142,7 +208,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail on regression vs the last entry here")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--tolerance-for", action="append", default=[],
+                        metavar="NAME=FRAC",
+                        help="per-scenario tolerance override (repeatable), "
+                             "e.g. --tolerance-for end_to_end=0.40")
+    parser.add_argument("--trend", type=Path, default=None, metavar="FILE",
+                        help="print the per-scenario events/s trajectory "
+                             "across this tracking file's history and exit")
     args = parser.parse_args(argv)
+
+    if args.trend is not None:
+        history = json.loads(args.trend.read_text()).get("history", [])
+        if not history:
+            print(f"no history entries in {args.trend}")
+            return 1
+        print(trend(history))
+        return 0
+
+    try:
+        overrides = parse_tolerance_overrides(args.tolerance_for)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     scale = args.scale if args.scale is not None else (
         0.1 if args.quick else 1.0
@@ -174,7 +260,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"record one with --json first")
             return 1
         baseline = matching[-1]
-        problems = compare(payload, baseline, args.tolerance)
+        problems = compare(payload, baseline, args.tolerance, overrides)
         label = baseline.get("label", "<unlabeled>")
         if problems:
             print(f"\nPERF REGRESSION vs {label!r}:")

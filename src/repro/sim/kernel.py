@@ -181,7 +181,7 @@ class Process:
         self.kernel = kernel
         self.gen = gen
         self.name = name
-        self.done = SimEvent(kernel, name=f"done:{name}")
+        self.done = SimEvent(kernel, name=("done:" + name) if name else "")
         kernel.call_soon(self._step, None)
 
     def _step(self, value: Any) -> None:
@@ -190,10 +190,12 @@ class Process:
         except StopIteration as stop:
             self.done.trigger(stop.value)
             return
-        if isinstance(yielded, Delay):
-            self.kernel.call_later_unhandled(yielded.dt, self._step, None)
-        elif isinstance(yielded, SimEvent):
+        # Checked most-frequent first: executor processes mostly wait on
+        # events; explicit Delay yields are rarer, AllOf rarer still.
+        if isinstance(yielded, SimEvent):
             yielded.add_waiter(self._step)
+        elif isinstance(yielded, Delay):
+            self.kernel.call_later_unhandled(yielded.dt, self._step, None)
         elif isinstance(yielded, AllOf):
             self._wait_all(yielded.events)
         else:
@@ -375,6 +377,7 @@ class Kernel:
         popleft = runq.popleft
         heappop = heapq.heappop
         digest = self._digest
+        processed = 0
         try:
             while True:
                 if runq and (not heap or runq[0] < heap[0]):
@@ -400,12 +403,13 @@ class Kernel:
                 else:
                     break
                 self.now = when
-                self.events_processed += 1
+                processed += 1
                 if digest is not None:
                     digest.tap(when, seq, fn, args)
                 fn(*args)
             self.now = max(self.now, t_end)
         finally:
+            self.events_processed += processed
             self._running = False
 
     def run(self) -> None:
@@ -417,6 +421,7 @@ class Kernel:
         popleft = runq.popleft
         heappop = heapq.heappop
         digest = self._digest
+        processed = 0
         try:
             while True:
                 if runq and (not heap or runq[0] < heap[0]):
@@ -436,11 +441,12 @@ class Kernel:
                 else:
                     break
                 self.now = when
-                self.events_processed += 1
+                processed += 1
                 if digest is not None:
                     digest.tap(when, seq, fn, args)
                 fn(*args)
         finally:
+            self.events_processed += processed
             self._running = False
 
     def pending(self) -> int:

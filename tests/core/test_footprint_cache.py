@@ -1,0 +1,157 @@
+"""Footprint-cache invalidation: stale owner tuples must never survive
+an ownership change.
+
+The :class:`~repro.core.router.FootprintCache` keys cached owner tuples
+on :meth:`~repro.core.router.OwnershipView.version_token`, so every way
+placement can change — a migration commit (``record_move``), a static
+``range_reassign``, a direct overlay cleanup (``forget_overlay``), and a
+fusion-table eviction — must bump the token.  A missed bump would let a
+router plan against a pre-migration owner, which under deterministic
+execution is a silent wrong-node dispatch, not a recoverable retry.
+"""
+
+from repro.common.types import Transaction
+from repro.core.fusion_table import FusionConfig, FusionTable
+from repro.core.router import (
+    ClusterView,
+    DictOverlay,
+    FootprintCache,
+    OwnershipView,
+    build_single_master_plan,
+    majority_owner,
+)
+from repro.storage.partitioning import make_uniform_ranges
+
+
+def make_ownership(num_keys=300, num_nodes=3, overlay=None):
+    return OwnershipView(make_uniform_ranges(num_keys, num_nodes), overlay)
+
+
+def ro(txn_id, reads):
+    return Transaction.read_only(txn_id, reads)
+
+
+class TestVersionToken:
+    def test_record_move_bumps_token(self):
+        view = make_ownership()
+        before = view.version_token()
+        view.record_move(5, 2)
+        assert view.version_token() != before
+
+    def test_move_back_home_still_bumps(self):
+        # Returning a key home *removes* the overlay entry — placement
+        # changed, so the token must change even though the overlay put
+        # was skipped.
+        view = make_ownership()
+        view.record_move(5, 2)
+        before = view.version_token()
+        view.record_move(5, 0)
+        assert view.version_token() != before
+
+    def test_range_reassign_bumps_token(self):
+        view = make_ownership()
+        before = view.version_token()
+        view.static.reassign(0, 10, 2)
+        assert view.version_token() != before
+
+    def test_forget_overlay_bumps_token(self):
+        view = make_ownership()
+        view.record_move(5, 2)
+        before = view.version_token()
+        view.forget_overlay(5)
+        assert view.version_token() != before
+        assert view.owner(5) == 0  # reverted to static home
+
+    def test_fusion_eviction_bumps_token(self):
+        # A capacity-1 fusion table evicts on the second insert; both
+        # inserts go through record_move, so the token moves twice and a
+        # footprint resolved before the eviction is stale after it.
+        view = make_ownership(overlay=FusionTable(FusionConfig(capacity=1)))
+        view.record_move(5, 2)
+        token_after_first = view.version_token()
+        evicted = view.record_move(105, 2)
+        assert evicted == [(5, 2)]
+        assert view.version_token() != token_after_first
+
+    def test_unmutated_view_keeps_token(self):
+        view = make_ownership()
+        token = view.version_token()
+        view.owner(5)
+        view.owners_bulk((5, 6, 150))
+        assert view.version_token() == token
+
+
+class TestFootprintCache:
+    def test_caches_over_pure_overlay(self):
+        view = make_ownership()
+        calls = []
+        original = view.owners_bulk
+        view.owners_bulk = lambda keys: calls.append(keys) or original(keys)
+        cache = FootprintCache(view)
+        txn = ro(1, [5, 6, 150])  # ordered_keys sorts by repr: 150, 5, 6
+        assert cache.owners(txn) == (1, 0, 0)
+        assert cache.owners(txn) == (1, 0, 0)
+        assert len(calls) == 1  # second lookup served from cache
+
+    def test_migration_invalidates_cached_tuple(self):
+        view = make_ownership()
+        cache = FootprintCache(view)
+        txn = ro(1, [5, 6, 150])
+        assert cache.owners(txn) == (1, 0, 0)
+        view.record_move(5, 2)
+        assert cache.owners(txn) == (1, 2, 0)
+
+    def test_range_reassign_invalidates_cached_tuple(self):
+        view = make_ownership()
+        cache = FootprintCache(view)
+        txn = ro(1, [5, 6, 150])
+        assert cache.owners(txn) == (1, 0, 0)
+        view.static.reassign(0, 100, 2)
+        assert cache.owners(txn) == (1, 2, 2)
+
+    def test_forget_overlay_invalidates_cached_tuple(self):
+        view = make_ownership()
+        view.record_move(5, 2)
+        cache = FootprintCache(view)
+        txn = ro(1, [5, 6])
+        assert cache.owners(txn) == (2, 0)
+        view.forget_overlay(5)
+        assert cache.owners(txn) == (0, 0)
+
+    def test_impure_overlay_bypasses_cache(self):
+        # The fusion table's get_bulk refreshes LRU recency; the cache
+        # must not replay tuples over it, or eviction order would depend
+        # on cache hits.  Every call resolves fresh.
+        view = make_ownership(overlay=FusionTable(FusionConfig(capacity=8)))
+        cache = FootprintCache(view)
+        txn = ro(1, [5, 6, 150])
+        assert cache.owners(txn) == (1, 0, 0)
+        view.overlay.put(5, 2)  # mutate behind the view's back
+        assert cache.owners(txn) == (1, 2, 0)
+
+    def test_stale_footprint_never_routes_to_pre_migration_owner(self):
+        # Regression shape for the routing pipeline: majority-vote a
+        # master from a cached footprint, migrate the records, then
+        # re-route the same keys — the plan must follow the records.
+        ownership = make_ownership()
+        view = ClusterView(range(3), ownership)
+        cache = FootprintCache(ownership)
+        txn = ro(1, [5, 6, 7])
+        owners = cache.owners(txn)
+        assert majority_owner(txn, view) == 0
+        assert owners == (0, 0, 0)
+        for key in (5, 6, 7):
+            ownership.record_move(key, 2)
+        owners = cache.owners(ro(2, [5, 6, 7]))
+        assert owners == (2, 2, 2)
+        plan = build_single_master_plan(
+            ro(2, [5, 6, 7]), 2, view, owners=owners
+        )
+        assert plan.masters == (2,)
+        assert plan.reads_from == {2: frozenset({5, 6, 7})}
+        assert not plan.migrations  # already co-located; stale tuple
+        # would have claimed node 0 still owned them and forced moves
+
+    def test_overlay_purity_flags(self):
+        assert DictOverlay.pure_reads is True
+        assert FusionTable.pure_reads is False

@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.perf import scenarios
-from repro.perf.__main__ import compare, main, normalized
+from repro.perf.__main__ import (
+    compare,
+    main,
+    normalized,
+    parse_tolerance_overrides,
+    trend,
+)
 from repro.perf.measure import measure
 
 
@@ -85,6 +91,53 @@ class TestCompare:
                            entry(routing=1.0), tolerance=0.3)
         assert "calibration" in problems[0]
 
+    def test_per_scenario_tolerance_overrides_blanket(self):
+        # A 40% drop fails the 30% blanket but passes a 50% override —
+        # and the override must not loosen other benches.
+        base = entry(calibration=100.0, routing=50.0, end_to_end=50.0)
+        current = entry(
+            calibration=100.0, routing=30.0, end_to_end=30.0
+        )["benches"]
+        problems = compare(
+            current, base, tolerance=0.30, per_scenario={"routing": 0.50}
+        )
+        assert len(problems) == 1 and "end_to_end" in problems[0]
+
+    def test_parse_tolerance_overrides(self):
+        overrides = parse_tolerance_overrides(
+            ["routing=0.35", "end_to_end=0.4"]
+        )
+        assert overrides == {"routing": 0.35, "end_to_end": 0.4}
+        with pytest.raises(ValueError, match="name=frac"):
+            parse_tolerance_overrides(["routing"])
+        with pytest.raises(ValueError, match="unknown bench"):
+            parse_tolerance_overrides(["nope=0.1"])
+
+
+class TestTrend:
+    def history(self):
+        return [
+            {"label": "PR 2", "scale": 1.0,
+             "benches": entry(calibration=100.0, routing=23.0)["benches"]},
+            {"label": "PR 3", "scale": 1.0,
+             "benches": entry(calibration=100.0, routing=19.0)["benches"]},
+            {"label": "quick", "scale": 0.1,
+             "benches": entry(calibration=100.0, routing=14.0)["benches"]},
+        ]
+
+    def test_groups_by_scale_and_lists_scenarios(self):
+        out = trend(self.history())
+        assert "scale=1.0  (2 entries)" in out
+        assert "scale=0.1  (1 entries)" in out
+        assert "routing" in out and "calibration" in out
+        assert "PR 2" in out and "PR 3" in out
+
+    def test_missing_bench_leaves_blank_cell(self):
+        history = self.history()
+        del history[1]["benches"]["routing"]
+        out = trend(history)  # must not raise on the hole
+        assert "routing" in out
+
 
 class TestCli:
     def test_json_and_compare_roundtrip(self, tmp_path, capsys):
@@ -107,3 +160,22 @@ class TestCli:
     def test_unknown_bench_rejected(self):
         with pytest.raises(SystemExit):
             main(["--bench", "nope"])
+
+    def test_bad_tolerance_override_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--bench", "kernel_dispatch", "--tolerance-for", "nope=1"])
+
+    def test_trend_prints_and_exits(self, tmp_path, capsys):
+        track = tmp_path / "bench.json"
+        assert main(["--scale", "0.01", "--repeats", "1",
+                     "--bench", "kernel_dispatch",
+                     "--json", str(track), "--label", "seed"]) == 0
+        capsys.readouterr()
+        assert main(["--trend", str(track)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel_dispatch" in out and "seed" in out
+
+    def test_trend_empty_history_fails(self, tmp_path, capsys):
+        track = tmp_path / "bench.json"
+        track.write_text(json.dumps({"schema": 1, "history": []}))
+        assert main(["--trend", str(track)]) == 1
