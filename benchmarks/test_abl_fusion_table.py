@@ -27,7 +27,7 @@ def test_ablation_fusion_capacity(run_bench):
     capacities = [num_keys // 200, num_keys // 40, num_keys // 10]
 
     def experiment():
-        from repro.bench.figures import google_comparison as compare
+        from repro.api import ExperimentSpec, run_experiment
 
         # Run hermes at several capacities by swapping the spec maker.
         results = []
@@ -39,7 +39,9 @@ def test_ablation_fusion_capacity(run_bench):
                 figures.google_spec = (
                     lambda name, keys, _c=capacity: _hermes_with(_c)
                 )
-                results.extend(compare(["hermes"], duration_s=4.0))
+                results.extend(run_experiment(ExperimentSpec(
+                    kind="google", strategies=("hermes",), duration_s=4.0,
+                )))
             finally:
                 figures.google_spec = original
         return results
@@ -68,6 +70,7 @@ def test_ablation_eviction_policy(run_bench):
 
     def experiment():
         import repro.bench.figures as figures
+        from repro.api import ExperimentSpec, run_experiment
 
         results = []
         for eviction in ("fifo", "lru"):
@@ -76,9 +79,9 @@ def test_ablation_eviction_policy(run_bench):
                 figures.google_spec = (
                     lambda name, keys, _e=eviction: _hermes_with(capacity, _e)
                 )
-                results.extend(
-                    figures.google_comparison(["hermes"], duration_s=4.0)
-                )
+                results.extend(run_experiment(ExperimentSpec(
+                    kind="google", strategies=("hermes",), duration_s=4.0,
+                )))
             finally:
                 figures.google_spec = original
         return results

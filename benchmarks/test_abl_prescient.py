@@ -12,15 +12,17 @@ per commit, no-balance raises the load imbalance.
 
 from __future__ import annotations
 
-from repro.bench.figures import google_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.reporting import format_table
 
-STRATEGIES = ["hermes-noreorder", "hermes-nobalance", "hermes"]
+STRATEGIES = ("hermes-noreorder", "hermes-nobalance", "hermes")
 
 
 def test_ablation_reorder_and_balance(run_bench):
     results = run_bench(
-        lambda: google_comparison(STRATEGIES, duration_s=4.0)
+        lambda: run_experiment(ExperimentSpec(
+            kind="google", strategies=STRATEGIES, duration_s=4.0,
+        ))
     )
 
     print()

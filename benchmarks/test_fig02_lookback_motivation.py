@@ -9,15 +9,17 @@ look-back window), while LEAP improves somewhat via temporal locality.
 
 from __future__ import annotations
 
-from repro.bench.figures import google_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
 
 def test_fig02_lookback_motivation(run_bench, results_dir):
     results = run_bench(
-        lambda: google_comparison(["calvin", "clay", "leap"],
-                                  jobs=bench_jobs())
+        lambda: run_experiment(ExperimentSpec(
+            kind="google", strategies=("calvin", "clay", "leap"),
+            jobs=bench_jobs(),
+        ))
     )
 
     print()

@@ -11,21 +11,22 @@ run; Hermes beats all of them.
 
 from __future__ import annotations
 
-from repro.bench.figures import google_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
 
 def test_fig06a_vs_lookback(run_bench, results_dir):
     results = run_bench(
-        lambda: google_comparison(
-            ["calvin", "clay", "schism1", "schism2", "hermes"],
-            schism_periods={
+        lambda: run_experiment(ExperimentSpec(
+            kind="google",
+            strategies=("calvin", "clay", "schism1", "schism2", "hermes"),
+            jobs=bench_jobs(),
+            params={"schism_periods": {
                 "schism1": (0.55, 0.95),   # trained on the late period
                 "schism2": (0.05, 0.45),   # trained on the early period
-            },
-            jobs=bench_jobs(),
-        )
+            }},
+        ))
     )
 
     print()

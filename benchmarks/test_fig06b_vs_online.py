@@ -10,17 +10,18 @@ baselines overall.
 
 from __future__ import annotations
 
-from repro.bench.figures import google_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
 
 def test_fig06b_vs_online(run_bench, results_dir):
     results = run_bench(
-        lambda: google_comparison(
-            ["calvin", "gstore", "tpart", "leap", "hermes"],
+        lambda: run_experiment(ExperimentSpec(
+            kind="google",
+            strategies=("calvin", "gstore", "tpart", "leap", "hermes"),
             jobs=bench_jobs(),
-        )
+        ))
     )
 
     print()

@@ -9,18 +9,20 @@ its dedicated migrations run.  T-Part burns slightly more CPU than LEAP.
 
 from __future__ import annotations
 
-from repro.bench.figures import google_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_table
 
 
 def test_fig08_resource_usage(run_bench):
     results = run_bench(
-        lambda: google_comparison(
-            ["calvin", "clay", "gstore", "tpart", "leap", "hermes"],
+        lambda: run_experiment(ExperimentSpec(
+            kind="google",
+            strategies=("calvin", "clay", "gstore", "tpart", "leap",
+                        "hermes"),
             duration_s=4.0,
             jobs=bench_jobs(),
-        )
+        ))
     )
 
     print()

@@ -10,27 +10,30 @@ cross-machine synchronization pays more).
 
 from __future__ import annotations
 
-from repro.bench.figures import google_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 
 SETTINGS = [(5, 5), (10, 5), (10, 10), (20, 5), (20, 10), (20, 20)]
-STRATEGIES = ["calvin", "leap", "hermes"]
+STRATEGIES = ("calvin", "leap", "hermes")
 
 
 def test_fig09_txn_length(run_bench):
     def experiment():
         table = {}
         for mean, std in SETTINGS:
-            results = google_comparison(
-                STRATEGIES,
+            results = run_experiment(ExperimentSpec(
+                kind="google",
+                strategies=STRATEGIES,
                 duration_s=2.5,
-                rate_scale=3_500.0 / (mean / 4.0),
-                ycsb_overrides={
-                    "txn_len_mean": float(mean),
-                    "txn_len_std": float(std),
-                },
                 jobs=bench_jobs(),
-            )
+                params={
+                    "rate_scale": 3_500.0 / (mean / 4.0),
+                    "ycsb_overrides": {
+                        "txn_len_mean": float(mean),
+                        "txn_len_std": float(std),
+                    },
+                },
+            ))
             table[(mean, std)] = {r.strategy: r.throughput_per_s
                                   for r in results}
         return table

@@ -11,19 +11,22 @@ a look-back planner can exploit.
 
 from __future__ import annotations
 
-from repro.bench.figures import tpcc_sweep
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_table
 
-CONCENTRATIONS = [0.0, 0.5, 0.8, 0.9]
-STRATEGIES = ["calvin", "clay", "tpart", "hermes"]
+CONCENTRATIONS = (0.0, 0.5, 0.8, 0.9)
+STRATEGIES = ("calvin", "clay", "tpart", "hermes")
 
 
 def test_fig11_tpcc_hotspots(run_bench):
     # The whole strategy × concentration grid goes into one fleet, so
     # REPRO_BENCH_JOBS parallelism is not capped by the strategy count.
     table = run_bench(
-        lambda: tpcc_sweep(STRATEGIES, CONCENTRATIONS, jobs=bench_jobs())
+        lambda: run_experiment(ExperimentSpec(
+            kind="tpcc_sweep", strategies=STRATEGIES, jobs=bench_jobs(),
+            params={"hot_fractions": CONCENTRATIONS},
+        ))
     )
 
     print()

@@ -10,16 +10,18 @@ adapts fastest and is the most stable.
 
 from __future__ import annotations
 
-from repro.bench.figures import multitenant_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
-STRATEGIES = ["calvin", "tpart", "leap", "clay", "hermes"]
+STRATEGIES = ("calvin", "tpart", "leap", "clay", "hermes")
 
 
 def test_fig12_multitenant_moving_hotspot(run_bench, results_dir):
     results = run_bench(
-        lambda: multitenant_comparison(STRATEGIES, jobs=bench_jobs())
+        lambda: run_experiment(ExperimentSpec(
+            kind="multitenant", strategies=STRATEGIES, jobs=bench_jobs(),
+        ))
     )
 
     print()

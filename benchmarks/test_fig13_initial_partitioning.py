@@ -13,7 +13,7 @@ Hermes is the only system good across all three.
 
 from __future__ import annotations
 
-from repro.bench.figures import multitenant_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_table
 from repro.workloads.multitenant import (
@@ -23,7 +23,7 @@ from repro.workloads.multitenant import (
     skewed_partitioner,
 )
 
-STRATEGIES = ["calvin", "clay", "leap", "hermes"]
+STRATEGIES = ("calvin", "clay", "leap", "hermes")
 
 LAYOUTS = {
     "perfect": perfect_partitioner,
@@ -42,13 +42,13 @@ def test_fig13_initial_partitioning(run_bench):
         )
         table = {}
         for label, factory in LAYOUTS.items():
-            table[label] = multitenant_comparison(
-                STRATEGIES,
-                config=config,
-                partitioner_factory=factory,
+            table[label] = run_experiment(ExperimentSpec(
+                kind="multitenant",
+                strategies=STRATEGIES,
                 duration_s=4.0,
                 jobs=bench_jobs(),
-            )
+                params={"config": config, "partitioner_factory": factory},
+            ))
         return table
 
     table = run_bench(experiment)

@@ -18,22 +18,24 @@ late-stage benefit on top of fusion-only.
 
 from __future__ import annotations
 
-from repro.bench.figures import scaleout_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.presets import bench_jobs
 from repro.bench.reporting import format_series, format_table, write_series_csv
 
-VARIANTS = [
+VARIANTS = (
     "squall",
     "clay+squall",
     "hermes-nocold-5",
     "hermes-nocold-10",
     "hermes-cold-5",
-]
+)
 
 
 def test_fig14_scaleout(run_bench, results_dir):
     results = run_bench(
-        lambda: scaleout_comparison(VARIANTS, jobs=bench_jobs())
+        lambda: run_experiment(ExperimentSpec(
+            kind="scaleout", strategies=VARIANTS, jobs=bench_jobs(),
+        ))
     )
 
     print()

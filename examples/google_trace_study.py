@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.bench.figures import google_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.reporting import format_series, format_table
 
 
@@ -23,9 +23,10 @@ def main() -> None:
     duration_s = 2.5 if fast else 5.0
 
     print("running calvin / leap / hermes under the Google workload ...")
-    results = google_comparison(
-        ["calvin", "leap", "hermes"], duration_s=duration_s
-    )
+    results = run_experiment(ExperimentSpec(
+        kind="google", strategies=("calvin", "leap", "hermes"),
+        duration_s=duration_s,
+    ))
 
     print()
     print(format_table(results, "Google-trace YCSB comparison"))

@@ -14,7 +14,7 @@ Run:  python examples/scaleout_demo.py
 
 from __future__ import annotations
 
-from repro.bench.figures import scaleout_run
+from repro.api import ExperimentSpec, run_experiment
 
 
 def main() -> None:
@@ -26,8 +26,10 @@ def main() -> None:
     results = {}
     for variant, description in variants.items():
         print(f"  {variant}: {description}")
-        results[variant] = scaleout_run(variant, duration_s=12.0,
-                                        event_at_s=3.0, keep_cluster=True)
+        (results[variant],) = run_experiment(ExperimentSpec(
+            kind="scaleout", strategies=(variant,), duration_s=12.0,
+            keep_cluster=True, params={"event_at_s": 3.0},
+        ))
 
     print("\nthroughput around the scale-out event (txns per 0.5 s window):")
     event_us = results["squall"].extras["event_us"]

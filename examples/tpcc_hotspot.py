@@ -11,7 +11,7 @@ Run:  python examples/tpcc_hotspot.py
 
 from __future__ import annotations
 
-from repro.bench.figures import tpcc_comparison
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench.reporting import format_table
 from repro.common.rng import DeterministicRNG
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, tpcc_partitioner
@@ -37,10 +37,10 @@ def main() -> None:
     show_workload_shape()
 
     print("running calvin vs hermes at 80% hot-spot concentration ...")
-    results = tpcc_comparison(
-        ["calvin", "hermes"], hot_fraction=0.8, duration_s=4.0,
-        keep_cluster=True,
-    )
+    results = run_experiment(ExperimentSpec(
+        kind="tpcc", strategies=("calvin", "hermes"), duration_s=4.0,
+        keep_cluster=True, params={"hot_fraction": 0.8},
+    ))
     print()
     print(format_table(results, "TPC-C, 80% of requests on node 0"))
 

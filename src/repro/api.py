@@ -20,9 +20,9 @@ pair:
 Every cross-cutting knob lives on the spec exactly once (``seed``,
 ``duration_s``, ``warmup_us``, ``window_us``, ``jobs``,
 ``keep_cluster``, ``trace``); kind-specific knobs go in ``params``.
-The legacy ``*_comparison`` functions still work but now delegate here,
-emitting ``DeprecationWarning`` when the collapsed keywords are passed
-to them directly.
+The legacy ``*_comparison`` functions survive as thin positional
+conveniences that delegate here; passing the collapsed keywords to them
+directly raises ``TypeError``.
 
 ``PRESETS`` names ready-made specs for the paper's figures; the
 observability CLI (``python -m repro.obs``) records traced runs through
@@ -34,9 +34,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from difflib import get_close_matches
+
 from repro.bench import figures as _figures
 from repro.bench.harness import ExperimentResult, parallel_map
-from repro.bench.presets import GOOGLE_BENCH, bench_scale
+from repro.bench.presets import (
+    GOOGLE_BENCH,
+    SCALE_PROFILES,
+    ScaleProfile,
+    bench_scale,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import Tracer
@@ -72,6 +79,13 @@ class ExperimentSpec:
     jobs: int | None = None
     keep_cluster: bool = False
     trace: "Tracer | None" = None
+    scale: str | None = None
+    """Named :data:`repro.bench.presets.SCALE_PROFILES` entry.  Widens
+    the cluster (50-100 nodes), sizes the keyspace (2M-20M keys), and
+    switches the per-node store to the array backend; kind params and
+    ``duration_s`` still override the profile's defaults.  Supported by
+    the ``google``, ``multitenant`` and ``forecast_robustness`` kinds."""
+
     params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -98,6 +112,9 @@ def run_experiment(spec: ExperimentSpec):
         )
     if not spec.strategies:
         raise ValueError("ExperimentSpec.strategies must name at least one run")
+    # Validate the scale axis up front for every kind: runners that
+    # don't consult it would otherwise silently ignore a stray scale=.
+    _scale_profile(spec)
     _figures._require_serial_for_cluster(spec.jobs, spec.keep_cluster)
     if spec.trace is not None and spec.jobs is not None and spec.jobs > 1:
         raise ValueError(
@@ -123,19 +140,73 @@ def preset_spec(name: str, **overrides) -> ExperimentSpec:
 # ----------------------------------------------------------------------
 
 
+#: Valid ``params`` keys per experiment kind.  ``run_experiment``
+#: rejects anything else by name, so typos fail loudly instead of
+#: silently falling through to defaults.
+VALID_PARAMS: dict[str, frozenset[str]] = {
+    "google": frozenset(
+        {"num_nodes", "num_keys", "rate_scale", "ycsb_overrides",
+         "schism_periods"}
+    ),
+    "tpcc": frozenset({"hot_fraction", "num_nodes", "clients"}),
+    "tpcc_sweep": frozenset({"hot_fractions", "num_nodes", "clients"}),
+    "multitenant": frozenset({"config", "partitioner_factory", "clients"}),
+    "scaleout": frozenset(
+        {"event_at_s", "clients", "records_per_tenant"}
+    ),
+    "forecast_robustness": frozenset(
+        {"error_levels", "forecaster", "num_nodes", "num_keys",
+         "rate_scale", "detector"}
+    ),
+}
+
+#: Kinds whose runner understands the ``scale`` axis.
+_SCALABLE_KINDS = frozenset({"google", "multitenant", "forecast_robustness"})
+
+
 def _reject_unknown(kind: str, leftover: dict) -> None:
-    if leftover:
-        raise TypeError(
-            f"unknown params for kind {kind!r}: {sorted(leftover)}"
+    if not leftover:
+        return
+    valid = sorted(VALID_PARAMS.get(kind, frozenset()))
+    parts = [f"unknown params for kind {kind!r}: {sorted(leftover)}"]
+    for name in sorted(leftover):
+        close = get_close_matches(name, valid, n=1)
+        if close:
+            parts.append(f"(did you mean {close[0]!r} instead of {name!r}?)")
+    parts.append(f"valid keys: {valid}")
+    raise TypeError("; ".join(parts))
+
+
+def _param(p: dict, key: str, default):
+    """Pop ``key`` with an ``is None`` default (0/empty stay explicit)."""
+    value = p.pop(key, None)
+    return default if value is None else value
+
+
+def _scale_profile(spec: ExperimentSpec) -> ScaleProfile | None:
+    if spec.scale is None:
+        return None
+    profile = SCALE_PROFILES.get(spec.scale)
+    if profile is None:
+        raise ValueError(
+            f"unknown scale {spec.scale!r}; "
+            f"expected one of {sorted(SCALE_PROFILES)}"
         )
+    if spec.kind not in _SCALABLE_KINDS:
+        raise ValueError(
+            f"kind {spec.kind!r} does not support the scale axis; "
+            f"supported kinds: {sorted(_SCALABLE_KINDS)}"
+        )
+    return profile
 
 
-def _opts(spec: ExperimentSpec) -> dict:
+def _opts(spec: ExperimentSpec, profile: ScaleProfile | None = None) -> dict:
     """The cross-cutting per-run overrides shipped in each task tuple."""
     return {
         "warmup_us": spec.warmup_us,
         "window_us": spec.window_us,
         "trace": spec.trace,
+        "store_backend": profile.store_backend if profile else "dict",
     }
 
 
@@ -144,15 +215,24 @@ def _duration_us(spec: ExperimentSpec, default_s: float) -> float:
 
 
 def _run_google(spec: ExperimentSpec) -> list[ExperimentResult]:
+    profile = _scale_profile(spec)
     p = dict(spec.params)
-    num_nodes = p.pop("num_nodes", None) or GOOGLE_BENCH["num_nodes"]
-    num_keys = p.pop("num_keys", None) or GOOGLE_BENCH["num_keys"]
-    rate_scale = p.pop("rate_scale", None) or 4_500.0
-    overrides = dict(p.pop("ycsb_overrides", None) or {})
+    num_nodes = _param(
+        p, "num_nodes",
+        profile.num_nodes if profile else GOOGLE_BENCH["num_nodes"],
+    )
+    num_keys = _param(
+        p, "num_keys",
+        profile.num_keys if profile else GOOGLE_BENCH["num_keys"],
+    )
+    rate_scale = _param(p, "rate_scale", 4_500.0)
+    overrides = dict(_param(p, "ycsb_overrides", {}))
     schism_periods = p.pop("schism_periods", None)
     _reject_unknown("google", p)
-    duration_us = _duration_us(spec, GOOGLE_BENCH["duration_s"])
-    opts = _opts(spec)
+    duration_us = _duration_us(
+        spec, profile.duration_s if profile else GOOGLE_BENCH["duration_s"]
+    )
+    opts = _opts(spec, profile)
     tasks = [
         (
             name, num_nodes, num_keys, rate_scale, duration_us, overrides,
@@ -167,8 +247,8 @@ def _run_google(spec: ExperimentSpec) -> list[ExperimentResult]:
 def _run_tpcc(spec: ExperimentSpec) -> list[ExperimentResult]:
     p = dict(spec.params)
     hot_fraction = p.pop("hot_fraction", 0.0)
-    num_nodes = p.pop("num_nodes", None) or 8
-    clients = p.pop("clients", None) or 900
+    num_nodes = _param(p, "num_nodes", 8)
+    clients = _param(p, "clients", 900)
     _reject_unknown("tpcc", p)
     duration_us = _duration_us(spec, 4.0)
     opts = _opts(spec)
@@ -183,8 +263,8 @@ def _run_tpcc(spec: ExperimentSpec) -> list[ExperimentResult]:
 def _run_tpcc_sweep(spec: ExperimentSpec) -> dict[float, list[ExperimentResult]]:
     p = dict(spec.params)
     hot_fractions = tuple(p.pop("hot_fractions"))
-    num_nodes = p.pop("num_nodes", None) or 8
-    clients = p.pop("clients", None) or 900
+    num_nodes = _param(p, "num_nodes", 8)
+    clients = _param(p, "clients", 900)
     _reject_unknown("tpcc_sweep", p)
     duration_us = _duration_us(spec, 4.0)
     opts = _opts(spec)
@@ -204,19 +284,33 @@ def _run_tpcc_sweep(spec: ExperimentSpec) -> dict[float, list[ExperimentResult]]
 def _run_multitenant(spec: ExperimentSpec) -> list[ExperimentResult]:
     from repro.workloads.multitenant import MultiTenantConfig, perfect_partitioner
 
+    profile = _scale_profile(spec)
     p = dict(spec.params)
-    wl_config = p.pop("config", None) or MultiTenantConfig(
-        num_nodes=4,
-        tenants_per_node=4,
-        records_per_tenant=2_500,
-        rotation_interval_us=2_500_000.0,
-    )
-    make_part = p.pop("partitioner_factory", None) or perfect_partitioner
-    clients = p.pop("clients", None) or 800
+    if profile is not None:
+        tenants_per_node = 4
+        default_config = MultiTenantConfig(
+            num_nodes=profile.num_nodes,
+            tenants_per_node=tenants_per_node,
+            records_per_tenant=profile.num_keys
+            // (profile.num_nodes * tenants_per_node),
+            rotation_interval_us=500_000.0 * profile.num_nodes,
+        )
+    else:
+        default_config = MultiTenantConfig(
+            num_nodes=4,
+            tenants_per_node=4,
+            records_per_tenant=2_500,
+            rotation_interval_us=2_500_000.0,
+        )
+    wl_config = _param(p, "config", default_config)
+    make_part = _param(p, "partitioner_factory", perfect_partitioner)
+    clients = _param(p, "clients", profile.clients if profile else 800)
     _reject_unknown("multitenant", p)
-    duration_us = _duration_us(spec, 8.0)
+    duration_us = _duration_us(
+        spec, profile.duration_s if profile else 8.0
+    )
     window_us = spec.window_us if spec.window_us is not None else 500_000.0
-    opts = _opts(spec)
+    opts = _opts(spec, profile)
     tasks = [
         (name, wl_config, make_part, duration_us, clients, spec.seed,
          window_us, spec.keep_cluster, opts)
@@ -226,6 +320,11 @@ def _run_multitenant(spec: ExperimentSpec) -> list[ExperimentResult]:
 
 
 def _run_scaleout(spec: ExperimentSpec) -> list[ExperimentResult]:
+    unknown = {
+        k: v for k, v in spec.params.items()
+        if k not in VALID_PARAMS["scaleout"]
+    }
+    _reject_unknown("scaleout", unknown)
     kwargs = dict(spec.params)
     if spec.duration_s is not None:
         kwargs["duration_s"] = spec.duration_s
@@ -253,16 +352,25 @@ def _run_forecast_robustness(
     ``magnitude_error`` forecast fault), so baselines repeat unchanged
     across levels as flat reference lines.
     """
+    profile = _scale_profile(spec)
     p = dict(spec.params)
-    error_levels = tuple(p.pop("error_levels", None) or (0.0, 0.3, 0.6, 0.9))
-    forecaster = p.pop("forecaster", None) or "oracle"
-    num_nodes = p.pop("num_nodes", None) or GOOGLE_BENCH["num_nodes"]
-    num_keys = p.pop("num_keys", None) or GOOGLE_BENCH["num_keys"]
-    rate_scale = p.pop("rate_scale", None) or 4_500.0
-    detector_params = dict(p.pop("detector", None) or {})
+    error_levels = tuple(_param(p, "error_levels", (0.0, 0.3, 0.6, 0.9)))
+    forecaster = _param(p, "forecaster", "oracle")
+    num_nodes = _param(
+        p, "num_nodes",
+        profile.num_nodes if profile else GOOGLE_BENCH["num_nodes"],
+    )
+    num_keys = _param(
+        p, "num_keys",
+        profile.num_keys if profile else GOOGLE_BENCH["num_keys"],
+    )
+    rate_scale = _param(p, "rate_scale", 4_500.0)
+    detector_params = dict(_param(p, "detector", {}))
     _reject_unknown("forecast_robustness", p)
-    duration_us = _duration_us(spec, GOOGLE_BENCH["duration_s"])
-    opts = _opts(spec)
+    duration_us = _duration_us(
+        spec, profile.duration_s if profile else GOOGLE_BENCH["duration_s"]
+    )
+    opts = _opts(spec, profile)
     tasks = [
         (name, level, forecaster, num_nodes, num_keys, rate_scale,
          duration_us, detector_params, spec.seed, spec.keep_cluster, opts)
@@ -324,6 +432,15 @@ PRESETS: dict[str, Callable[[], ExperimentSpec]] = {
     "fig12": lambda: ExperimentSpec(
         kind="multitenant",
         strategies=("calvin", "tpart", "leap", "clay", "hermes"),
+    ),
+    # Multi-tenant rotating hot spot at million-key scale: 2M keys over
+    # 50 nodes on array-backed stores (the ROADMAP item 2 smoke; see
+    # SCALE_PROFILES["2m"]).  Two strategies keep the nightly job's
+    # wall-clock bounded while still exercising prescient vs baseline.
+    "fig12_scale": lambda: ExperimentSpec(
+        kind="multitenant",
+        strategies=("calvin", "hermes"),
+        scale="2m",
     ),
     # Scale-out event (3 → 4 nodes).
     "fig14": lambda: ExperimentSpec(

@@ -24,7 +24,6 @@ for multi-process fleets (a live Tracer cannot cross processes).
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Sequence
 
 from repro.baselines.schism import schism_partition
@@ -76,15 +75,21 @@ _UNSET = object()
 
 
 def _warn_legacy_kwargs(fn_name: str, **passed: object) -> None:
-    """DeprecationWarning for collapsed kwargs passed to legacy wrappers."""
+    """Reject collapsed kwargs passed to legacy wrappers.
+
+    These knobs deprecated through one release cycle (PR 6-7) with a
+    ``DeprecationWarning``; the sunset promotes them to errors.  The
+    wrappers themselves remain as thin conveniences over
+    :func:`repro.api.run_experiment` for positional use, but every
+    cross-cutting knob now lives only on
+    :class:`repro.api.ExperimentSpec`.
+    """
     explicit = sorted(k for k, v in passed.items() if v is not _UNSET)
     if explicit:
-        warnings.warn(
-            f"{fn_name}(..., {', '.join(explicit)}=...) is deprecated: these "
+        raise TypeError(
+            f"{fn_name}(..., {', '.join(explicit)}=...) was removed: these "
             "knobs moved onto repro.api.ExperimentSpec — build a spec and "
-            "call repro.api.run_experiment instead",
-            DeprecationWarning,
-            stacklevel=3,
+            "call repro.api.run_experiment instead"
         )
 
 
@@ -151,7 +156,9 @@ def _google_task(task: tuple) -> ExperimentResult:
 
     return run_workload(
         spec,
-        cluster_config=bench_cluster_config(num_nodes),
+        cluster_config=bench_cluster_config(
+            num_nodes, store_backend=opts.get("store_backend", "dict")
+        ),
         partitioner_factory=partitioner,
         workload_factory=workload_factory,
         keys=range(num_keys),
@@ -190,8 +197,9 @@ def google_comparison(
     entries run Calvin over the Schism partitioning, as in Figure 6(a).
 
     Legacy wrapper: delegates to :func:`repro.api.run_experiment`; the
-    collapsed kwargs (``seed``, ``jobs``, ``keep_cluster``) are
-    deprecated here and live on :class:`repro.api.ExperimentSpec`.
+    collapsed kwargs (``seed``, ``jobs``, ``keep_cluster``) were removed
+    and raise ``TypeError`` — they live on
+    :class:`repro.api.ExperimentSpec`.
     """
     from repro.api import ExperimentSpec, run_experiment
 
@@ -416,7 +424,9 @@ def _forecast_task(task: tuple) -> ExperimentResult:
 
     result = run_workload(
         spec,
-        cluster_config=bench_cluster_config(num_nodes),
+        cluster_config=bench_cluster_config(
+            num_nodes, store_backend=opts.get("store_backend", "dict")
+        ),
         partitioner_factory=lambda: make_uniform_ranges(num_keys, num_nodes),
         workload_factory=workload_factory,
         keys=range(num_keys),
@@ -467,7 +477,9 @@ def _tpcc_task(task: tuple) -> ExperimentResult:
         )
     return run_workload(
         spec,
-        cluster_config=bench_cluster_config(num_nodes),
+        cluster_config=bench_cluster_config(
+            num_nodes, store_backend=opts.get("store_backend", "dict")
+        ),
         partitioner_factory=lambda: tpcc_partitioner(tpcc_config),
         workload_factory=lambda rng: TPCCWorkload(tpcc_config, rng),
         seed=seed,
@@ -624,7 +636,10 @@ def _multitenant_task(task: tuple) -> ExperimentResult:
     )
     return run_workload(
         spec,
-        cluster_config=bench_cluster_config(wl_config.num_nodes),
+        cluster_config=bench_cluster_config(
+            wl_config.num_nodes,
+            store_backend=opts.get("store_backend", "dict"),
+        ),
         partitioner_factory=lambda: make_part(wl_config),
         workload_factory=lambda rng: MultiTenantWorkload(wl_config, rng),
         seed=seed,
@@ -658,8 +673,8 @@ def multitenant_comparison(
     module-level function (it is shipped to the worker processes); the
     default :func:`perfect_partitioner` is.  Legacy wrapper: the
     collapsed kwargs (``seed``, ``stats_window_s``, ``jobs``,
-    ``keep_cluster``) are deprecated here and live on
-    :class:`repro.api.ExperimentSpec` (window in microseconds).
+    ``keep_cluster``) were removed and raise ``TypeError`` — they live
+    on :class:`repro.api.ExperimentSpec` (window in microseconds).
     """
     from repro.api import ExperimentSpec, run_experiment
 
@@ -795,8 +810,8 @@ def scaleout_comparison(
     """Several Figure 14 variants, optionally fanned over processes.
 
     ``kwargs`` are forwarded to :func:`scaleout_run` unchanged.  Legacy
-    wrapper: ``jobs``/``keep_cluster``/``seed`` are deprecated here and
-    live on :class:`repro.api.ExperimentSpec`.
+    wrapper: ``jobs``/``keep_cluster``/``seed`` were removed and raise
+    ``TypeError`` — they live on :class:`repro.api.ExperimentSpec`.
     """
     from repro.api import ExperimentSpec, run_experiment
 

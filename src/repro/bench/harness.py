@@ -16,6 +16,8 @@ returns exactly what the serial loop would have.
 
 from __future__ import annotations
 
+import sys
+
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -127,7 +129,13 @@ def run_workload(
 
     if keys is None:
         keys = workload.all_keys()
-    cluster.load_data(keys)
+    record_bytes = getattr(
+        getattr(workload, "config", None), "record_bytes", 0
+    )
+    record_bytes = getattr(
+        getattr(workload, "profile", None), "record_bytes", record_bytes
+    )
+    cluster.load_data(keys, record_bytes=int(record_bytes or 0))
 
     attached = spec.attach(cluster) if spec.attach is not None else None
     cluster.metrics.warmup_until = warmup_us
@@ -169,6 +177,11 @@ def run_workload(
     stats_fn = getattr(cluster.router, "stats_snapshot", None)
     if stats_fn is not None:
         extras["router_stats"] = dict(stats_fn())
+    # Deterministic occupancy rollup (pure function of the simulation);
+    # host-dependent numbers like peak RSS stay out of extras so fleet
+    # runs remain bit-identical across process boundaries — the perf /
+    # nightly layers sample peak_rss_mb() themselves.
+    extras["store_usage"] = cluster.store_usage()
     if trace is not None:
         extras["tracer"] = trace
     if keep_cluster:
@@ -256,6 +269,25 @@ def run_google_ycsb(
     )
     result.extras["trace"] = trace
     return result
+
+
+def peak_rss_mb() -> float:
+    """Peak resident-set size of this process in MiB (0.0 if unknown).
+
+    Process-wide and monotonic (``ru_maxrss`` never decreases), so read
+    it as "the run fit in this much memory", not as a per-run delta.
+    Wall-clock-free and OS-reported — deterministic enough for the
+    BENCH artifact's memory trend, excluded from digests and goldens.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 def parallel_map(fn, tasks, *, jobs: int | None = None) -> list:

@@ -21,6 +21,7 @@ suite can run longer/larger without editing each benchmark.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 
 from repro.common.config import (
     ClusterConfig,
@@ -66,10 +67,15 @@ def bench_jobs() -> int | None:
     return value if value > 1 else None
 
 
-def bench_cluster_config(num_nodes: int) -> ClusterConfig:
+def bench_cluster_config(
+    num_nodes: int, store_backend: str = "dict"
+) -> ClusterConfig:
     """The calibrated cluster configuration for a benchmark."""
     return ClusterConfig(
-        num_nodes=num_nodes, engine=BENCH_ENGINE, costs=BENCH_COSTS
+        num_nodes=num_nodes,
+        engine=BENCH_ENGINE,
+        costs=BENCH_COSTS,
+        store_backend=store_backend,
     )
 
 
@@ -102,4 +108,45 @@ GOOGLE_BENCH = {
     "num_keys": 40_000,
     "duration_s": 5.0,
     "clients": 1_500,
+}
+
+
+# ----------------------------------------------------------------------
+# Scale-out profiles (the ExperimentSpec ``scale`` axis)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleProfile:
+    """One point on the scale axis: keyspace, cluster width, backend.
+
+    ``num_keys`` is the *total* keyspace the runner sizes the workload
+    to; ``store_backend`` selects the per-node record store (the array
+    backend is what makes millions of resident records affordable —
+    see :mod:`repro.storage.store`).  ``clients``/``duration_s`` are
+    defaults tuned so the profile completes on CI hardware; specs can
+    still override both.
+    """
+
+    name: str
+    num_keys: int
+    num_nodes: int
+    store_backend: str = "array"
+    clients: int = 2_000
+    duration_s: float = 2.0
+
+
+#: Named profiles for ``ExperimentSpec.scale``.  "2m" is the CI-sized
+#: scale smoke (2M keys over 50 nodes ≈ the paper's per-node record
+#: density at 1/5 the node count); "20m" is the full ROADMAP item 2
+#: target for workstation runs.
+SCALE_PROFILES: dict[str, ScaleProfile] = {
+    "2m": ScaleProfile(
+        name="2m", num_keys=2_000_000, num_nodes=50,
+        clients=2_000, duration_s=2.0,
+    ),
+    "20m": ScaleProfile(
+        name="20m", num_keys=20_000_000, num_nodes=100,
+        clients=4_000, duration_s=2.0,
+    ),
 }

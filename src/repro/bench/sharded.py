@@ -1,0 +1,202 @@
+"""Sharded seeds×configs simulation with digest-verified merge.
+
+Million-key sweeps don't fit one process comfortably — and even when
+they do, wall-clock says to fan out.  This module runs an experiment
+grid (every spec × every seed) over the :func:`~repro.bench.harness.
+parallel_map` fleet and merges the shards back **verifiably**:
+
+* every shard's results are reduced to a canonical, JSON-stable form
+  and tagged with a BLAKE2b digest computed *inside the worker*;
+* the merge recomputes each digest from the shipped payload (catching
+  any transit corruption or non-canonical serialization drift) and
+  folds the per-shard digests, in grid order, into one sweep digest.
+
+Because every run rebuilds its own seeded state from picklable
+primitives (the PR 2 fleet contract) and simulation results are pure
+functions of (spec, seed), the sweep digest is **bit-identical for any
+``jobs`` value** — ``jobs=1`` and ``jobs=N`` must produce the same
+digest, and a test pins that.  Host-dependent numbers (wall clock,
+peak RSS) are deliberately excluded from canonical form.
+
+Specs handed to :func:`run_sharded` must be self-contained: picklable
+``params`` (module-level factories, not lambdas), no ``trace``, no
+``keep_cluster`` — the same restrictions ``jobs>1`` already imposes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Sequence
+
+from repro.api import ExperimentSpec, run_experiment
+from repro.bench.harness import ExperimentResult, parallel_map
+
+__all__ = [
+    "ShardResult",
+    "ShardedSweep",
+    "canonical_payload",
+    "payload_digest",
+    "run_sharded",
+]
+
+
+def canonical_payload(obj):
+    """Reduce experiment output to a canonical JSON-able structure.
+
+    Handles the shapes runners return (result lists, sweep dicts) and
+    the metric types inside them.  Floats pass through unchanged —
+    ``json`` round-trips them exactly via ``repr`` — so two payloads
+    are equal iff every metric is bit-identical.  Objects that are not
+    part of the deterministic result contract (tracers, kept clusters)
+    are rejected loudly rather than repr'd into false mismatches.
+    """
+    if isinstance(obj, ExperimentResult):
+        series = obj.throughput_series
+        return {
+            "strategy": obj.strategy,
+            "commits": obj.commits,
+            "duration_us": obj.duration_us,
+            "throughput_per_s": obj.throughput_per_s,
+            "mean_latency_us": obj.mean_latency_us,
+            "latency_breakdown_us": canonical_payload(
+                dict(obj.latency_breakdown_us)
+            ),
+            "cpu_utilization": obj.cpu_utilization,
+            "net_bytes_per_commit": obj.net_bytes_per_commit,
+            "remote_reads": obj.remote_reads,
+            "writebacks": obj.writebacks,
+            "evictions": obj.evictions,
+            "latency_p50_us": obj.latency_p50_us,
+            "latency_p95_us": obj.latency_p95_us,
+            "latency_p99_us": obj.latency_p99_us,
+            "throughput": {
+                "times": list(getattr(series, "times", ())),
+                "values": list(getattr(series, "values", ())),
+            },
+            "extras": canonical_payload(obj.extras),
+        }
+    if isinstance(obj, dict):
+        return {str(k): canonical_payload(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"non-canonical object {type(obj).__name__} in shard payload; "
+        "sharded runs must not carry tracers, clusters, or other live "
+        "objects (drop keep_cluster/trace from the spec)"
+    )
+
+
+def payload_digest(payload) -> str:
+    """BLAKE2b digest of the canonical payload's sorted-key JSON."""
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return blake2b(blob, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class ShardResult:
+    """One (config, seed) cell of the sweep grid."""
+
+    config_index: int
+    seed: int
+    digest: str
+    payload: object
+
+
+@dataclass(slots=True)
+class ShardedSweep:
+    """The merged grid plus its verification state."""
+
+    specs: tuple[ExperimentSpec, ...]
+    seeds: tuple[int, ...]
+    shards: list[ShardResult] = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        """Sweep digest: per-shard digests folded in grid order."""
+        h = blake2b(digest_size=16)
+        for shard in self.shards:
+            h.update(shard.digest.encode("ascii"))
+        return h.hexdigest()
+
+    def verify(self) -> None:
+        """Recompute every shard digest from its payload; raise on drift."""
+        for shard in self.shards:
+            expect = payload_digest(shard.payload)
+            if expect != shard.digest:
+                raise ValueError(
+                    f"shard (config={shard.config_index}, "
+                    f"seed={shard.seed}) digest mismatch: worker said "
+                    f"{shard.digest}, payload hashes to {expect}"
+                )
+
+    def cell(self, config_index: int, seed: int) -> ShardResult:
+        for shard in self.shards:
+            if shard.config_index == config_index and shard.seed == seed:
+                return shard
+        raise KeyError((config_index, seed))
+
+    def by_seed(self, config_index: int = 0) -> dict[int, object]:
+        """``{seed: payload}`` for one config (the common 1-config case)."""
+        return {
+            s.seed: s.payload
+            for s in self.shards
+            if s.config_index == config_index
+        }
+
+
+def _shard_worker(task: tuple) -> tuple[int, int, str, object]:
+    """Run one grid cell (pool worker; must stay module-level)."""
+    config_index, seed, spec = task
+    results = run_experiment(spec)
+    payload = canonical_payload(results)
+    return (config_index, seed, payload_digest(payload), payload)
+
+
+def run_sharded(
+    specs: ExperimentSpec | Sequence[ExperimentSpec],
+    seeds: Sequence[int],
+    *,
+    jobs: int | None = None,
+) -> ShardedSweep:
+    """Run every spec at every seed, merge with digest verification.
+
+    Grid order is config-major, seed-minor, and the merge preserves it
+    (``parallel_map`` returns results in submission order), so the
+    sweep digest is independent of worker scheduling.
+    """
+    if isinstance(specs, ExperimentSpec):
+        specs = (specs,)
+    specs = tuple(specs)
+    seeds = tuple(seeds)
+    if not specs or not seeds:
+        raise ValueError("run_sharded needs at least one spec and one seed")
+    tasks = []
+    for config_index, spec in enumerate(specs):
+        if spec.trace is not None or spec.keep_cluster:
+            raise ValueError(
+                "sharded specs cannot carry trace/keep_cluster "
+                "(live objects cannot cross the digest boundary)"
+            )
+        for seed in seeds:
+            tasks.append(
+                (config_index, seed,
+                 spec.with_overrides(seed=seed, jobs=None))
+            )
+    sweep = ShardedSweep(specs=specs, seeds=seeds)
+    for config_index, seed, digest, payload in parallel_map(
+        _shard_worker, tasks, jobs=jobs
+    ):
+        sweep.shards.append(
+            ShardResult(
+                config_index=config_index, seed=seed,
+                digest=digest, payload=payload,
+            )
+        )
+    sweep.verify()
+    return sweep

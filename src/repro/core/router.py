@@ -93,10 +93,26 @@ class OwnershipView:
     its ``version`` counter and invalidates the cache wholesale.
     """
 
-    def __init__(self, static: Partitioner, overlay: KeyOverlay | None = None):
+    #: Default cap on memoized static homes.  The memo is a pure
+    #: speed-up — entries past the cap are computed but not stored — so
+    #: the cap changes memory, never results.  At the preset scales the
+    #: whole keyspace fits; at 2M-20M keys an unbounded memo would cost
+    #: more resident memory than the array-backed stores it routes for.
+    HOME_MEMO_LIMIT = 1 << 18
+
+    def __init__(
+        self,
+        static: Partitioner,
+        overlay: KeyOverlay | None = None,
+        home_memo_limit: int | None = None,
+    ):
         self.static = static
         self.overlay = overlay if overlay is not None else DictOverlay()
         self._home_cache: dict[Key, NodeId] = {}
+        self._home_limit = (
+            home_memo_limit if home_memo_limit is not None
+            else self.HOME_MEMO_LIMIT
+        )
         self._home_version = getattr(static, "version", 0)
         #: ownership changes registered over the run (observability).
         self.moves_recorded = 0
@@ -150,6 +166,7 @@ class OwnershipView:
         cache = self._homes()
         lookup = cache.get
         static_home = self.static.home
+        limit = self._home_limit
         out: list[NodeId] = []
         append = out.append
         for key, live in zip(keys, lives):
@@ -158,7 +175,9 @@ class OwnershipView:
                 continue
             node = lookup(key)
             if node is None:
-                node = cache[key] = static_home(key)
+                node = static_home(key)
+                if len(cache) < limit:
+                    cache[key] = node
             append(node)
         return out
 
@@ -167,7 +186,9 @@ class OwnershipView:
         cache = self._homes()
         node = cache.get(key)
         if node is None:
-            node = cache[key] = self.static.home(key)
+            node = self.static.home(key)
+            if len(cache) < self._home_limit:
+                cache[key] = node
         return node
 
     def record_move(self, key: Key, dst: NodeId) -> list[tuple[Key, NodeId]]:

@@ -123,16 +123,33 @@ class Cluster:
     # Data loading and client API
     # ------------------------------------------------------------------
 
-    def load_data(self, keys: Iterable[Key]) -> None:
+    def load_data(self, keys: Iterable[Key], record_bytes: int = 0) -> None:
         """Populate every record at its static home (version 0).
 
-        Goes through the ownership view's memoized ``home`` so the load
-        pass also pre-warms the static-home cache the routers hit.
+        A contiguous integer ``range`` placed by a segment-aware
+        partitioner (:class:`~repro.storage.partitioning.
+        RangePartitioner`) takes a bulk path: one ``store.load_range``
+        call per (segment ∩ keys) span — a 2M-key load is ~num_nodes
+        calls instead of 2M memoized ``home`` lookups, whose memo dict
+        alone would dwarf an array-backed store.  Anything else falls
+        back to the per-key loop, which also pre-warms the static-home
+        cache the routers hit.  ``record_bytes`` tags every loaded
+        record's payload size (memory accounting only).
         """
-        home_of = self.ownership.home
         nodes = self.nodes
+        spans = getattr(self.ownership.static, "owner_spans", None)
+        if (
+            isinstance(keys, range)
+            and keys.step == 1
+            and len(keys) > 0
+            and spans is not None
+        ):
+            for lo, hi, owner in spans(keys.start, keys.stop):
+                nodes[owner].store.load_range(lo, hi, size=record_bytes)
+            return
+        home_of = self.ownership.home
         for key in keys:
-            nodes[home_of(key)].store.load(key)
+            nodes[home_of(key)].store.load(key, size=record_bytes)
 
     def next_txn_id(self) -> int:
         """Allocate a unique transaction id."""
@@ -488,6 +505,40 @@ class Cluster:
     def total_records(self) -> int:
         """Records across all stores (conservation check)."""
         return sum(len(node.store) for node in self.nodes)
+
+    def store_usage(self) -> dict[str, float]:
+        """Per-node store occupancy, published as registry gauges.
+
+        Refreshes ``store_records`` / ``store_records_peak`` /
+        ``store_memory_bytes`` / ``store_data_bytes`` gauges (labelled
+        per node) and returns the cluster-wide rollup the harness ships
+        in :class:`~repro.bench.harness.ExperimentResult` extras.  Pure
+        observability: reads store accounting, mutates nothing.
+        """
+        gauge = self.metrics.registry.gauge
+        total_records = 0
+        total_memory = 0
+        total_data = 0
+        peak_records = 0
+        for node in self.nodes:
+            store = node.store
+            label = str(node.node_id)
+            records = len(store)
+            memory = store.memory_bytes()
+            gauge("store_records", node=label).set(records)
+            gauge("store_records_peak", node=label).set(store.records_peak)
+            gauge("store_memory_bytes", node=label).set(memory)
+            gauge("store_data_bytes", node=label).set(store.data_bytes())
+            total_records += records
+            total_memory += memory
+            total_data += store.data_bytes()
+            peak_records = max(peak_records, store.records_peak)
+        return {
+            "records": float(total_records),
+            "records_peak_per_node": float(peak_records),
+            "store_memory_bytes": float(total_memory),
+            "data_bytes": float(total_data),
+        }
 
     def sequenced_migration_chunks(self) -> list[tuple[int, int, object]]:
         """``(epoch, txn_id, chunk)`` for every MIGRATION transaction in

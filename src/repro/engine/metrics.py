@@ -18,8 +18,8 @@ tracing code.
 
 Accessor naming: time-valued accessors carry a ``_us`` suffix
 (``mean_latency_us``, ``latency_percentile_us``, ...).  The unsuffixed
-``latency_percentile``/``latency_percentiles`` spellings predate the
-convention and remain as deprecated aliases.
+``latency_percentile``/``latency_percentiles`` spellings predated the
+convention and have been removed.
 """
 
 from __future__ import annotations
@@ -180,15 +180,3 @@ class ClusterMetrics:
         Returns a plain dict keyed by the quantile floats passed in.
         """
         return self._latency_hist.percentiles(quantiles)
-
-    # -- deprecated aliases (pre-`_us` naming) ---------------------------
-
-    def latency_percentile(self, quantile: float) -> float:
-        """Deprecated alias for :meth:`latency_percentile_us`."""
-        return self.latency_percentile_us(quantile)
-
-    def latency_percentiles(
-        self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
-    ) -> dict[float, float]:
-        """Deprecated alias for :meth:`latency_percentiles_us`."""
-        return self.latency_percentiles_us(quantiles)

@@ -19,7 +19,7 @@ from repro.common.errors import SimulationError
 from repro.common.types import NodeId
 from repro.sim.kernel import Kernel
 from repro.sim.stats import WindowedRate
-from repro.storage.store import RecordStore
+from repro.storage.store import make_store
 from repro.storage.wal import UndoLog
 
 
@@ -128,7 +128,7 @@ class Node:
         self.kernel = kernel
         self.node_id = node_id
         self.config = config
-        self.store = RecordStore(node_id)
+        self.store = make_store(config.store_backend, node_id)
         self.undo_log = UndoLog()
         self.workers = WorkerPool(
             kernel,

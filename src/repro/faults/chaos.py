@@ -51,6 +51,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.storage.partitioning import make_uniform_ranges
 from repro.workloads.google_trace import GoogleTraceConfig, SyntheticGoogleTrace
+from repro.workloads.streaming import stream_schedule
 from repro.workloads.ycsb import GoogleYCSBWorkload, YCSBConfig
 
 
@@ -93,16 +94,17 @@ class ChaosRunResult:
     """Internal-invariant violations observed during the run itself."""
 
 
-def make_schedule(
-    config: ChaosConfig, seed: int
-) -> list[tuple[float, Transaction]]:
-    """Pre-compute the open-loop arrival schedule for one seed.
+def iter_schedule(config: ChaosConfig, seed: int):
+    """The arrival schedule for one seed, as a lazy generator.
 
-    Returns ``(arrival_us, txn)`` pairs in arrival order, minted from the
-    Google-trace YCSB generator.  The schedule is computed *before* any
-    cluster exists, so it is identical across the reference run and every
-    fault trial — the independence that makes fingerprint equality a
-    sound check.
+    Yields ``(arrival_us, txn)`` pairs in arrival order, minted from the
+    Google-trace YCSB generator.  The stream is computed *before* any
+    cluster exists (nothing feeds back into it), so it is identical
+    across the reference run and every fault trial — the independence
+    that makes fingerprint equality a sound check.  Draw-for-draw
+    identical to the materialized :func:`make_schedule` (see
+    :mod:`repro.workloads.streaming`), but holds O(1) schedule state,
+    which is what permits million-key chaos runs.
     """
     rng = DeterministicRNG(seed, "chaos")
     trace = SyntheticGoogleTrace(
@@ -119,13 +121,19 @@ def make_schedule(
         trace,
         rng,
     )
-    arrivals = rng.fork("arrivals")
-    schedule: list[tuple[float, Transaction]] = []
-    now = 0.0
-    for txn_id in range(1, config.num_txns + 1):
-        now += arrivals.expovariate(1.0 / config.mean_gap_us)
-        schedule.append((now, workload.make_txn(txn_id, now)))
-    return schedule
+    return stream_schedule(
+        workload.make_txn,
+        rng.fork("arrivals"),
+        config.mean_gap_us,
+        config.num_txns,
+    )
+
+
+def make_schedule(
+    config: ChaosConfig, seed: int
+) -> list[tuple[float, Transaction]]:
+    """The materialized form of :func:`iter_schedule` (small configs)."""
+    return list(iter_schedule(config, seed))
 
 
 def make_cluster_builder(config: ChaosConfig) -> Callable[[], Cluster]:

@@ -31,11 +31,17 @@ import sys
 from pathlib import Path
 
 from repro.perf.measure import BenchResult, measure, measure_interleaved
-from repro.perf.scenarios import SCENARIOS
+from repro.perf.scenarios import SCENARIO_EXTRAS, SCENARIOS
 
 #: Benches whose events/s participates in the regression gate.  The
-#: calibration loop is the normalizer, not a gated metric.
-GATED = tuple(name for name in SCENARIOS if name != "calibration")
+#: calibration loop is the normalizer, not a gated metric, and the
+#: scale-out smoke (``scale_sim``) is tracked for trend/RSS only — its
+#: fixed 2M-key setup dominates short CI runs, so its events/s is too
+#: noisy to gate on.
+GATED = tuple(
+    name for name in SCENARIOS
+    if name not in ("calibration", "scale_sim")
+)
 
 #: Maximum fraction of the same run's ``kernel_e2e`` score that the
 #: disabled-tracer guard discipline (``tracer_overhead``) may cost.
@@ -63,6 +69,8 @@ def run_suite(
             name, lambda n=name: SCENARIOS[n](scale),
             repeats=repeats, profile=profile,
         )
+        if name in SCENARIO_EXTRAS:
+            result.extras = dict(SCENARIO_EXTRAS[name])
         results[name] = result
         print(
             f"  {name:<16} {result.events:>10} units  "

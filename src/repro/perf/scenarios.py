@@ -395,6 +395,64 @@ def end_to_end(scale: float) -> int:
     return cluster.metrics.commits
 
 
+#: Side-channel for host-dependent measurements (peak RSS, resident
+#: bytes).  Scenarios deposit ``{name: {...}}`` here; the CLI copies the
+#: entry into the corresponding ``BenchResult.extras`` after measuring.
+#: Kept out of the events/s score so the regression gate stays a pure
+#: throughput comparison.
+SCENARIO_EXTRAS: dict[str, dict] = {}
+
+
+def scale_sim(scale: float) -> int:
+    """Million-key scale-out smoke: 2M keys / 50 nodes / array store.
+
+    The fig12_scale shape (multi-tenant workload, hermes routing) at the
+    "2m" scale profile.  The *keyspace and cluster width are fixed* —
+    shrinking them would change what is being measured — so ``scale``
+    only scales the simulated duration.  Work unit: one committed
+    transaction.  Deposits peak RSS and store bookkeeping bytes into
+    :data:`SCENARIO_EXTRAS` (host-dependent, so not part of the score).
+    """
+    from repro.bench.harness import peak_rss_mb
+    from repro.bench.presets import SCALE_PROFILES, bench_cluster_config
+
+    profile = SCALE_PROFILES["2m"]
+    tenants_per_node = 4
+    wl_config = MultiTenantConfig(
+        num_nodes=profile.num_nodes,
+        tenants_per_node=tenants_per_node,
+        records_per_tenant=profile.num_keys
+        // (profile.num_nodes * tenants_per_node),
+        rotation_interval_us=500_000.0 * profile.num_nodes,
+    )
+    cluster = Cluster(
+        bench_cluster_config(
+            profile.num_nodes, store_backend=profile.store_backend
+        ),
+        PrescientRouter(),
+        perfect_partitioner(wl_config),
+        overlay=FusionTable(FusionConfig(capacity=2_000)),
+    )
+    cluster.load_data(range(wl_config.num_keys))
+    workload = MultiTenantWorkload(
+        wl_config, DeterministicRNG(12, "perf-scale")
+    )
+    duration_us = max(50_000.0, 400_000.0 * scale)
+    driver = ClosedLoopDriver(
+        cluster, workload, num_clients=profile.clients, stop_us=duration_us
+    )
+    driver.start()
+    cluster.run_until(duration_us)
+    usage = cluster.store_usage()
+    SCENARIO_EXTRAS["scale_sim"] = {
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "store_memory_mb": round(usage["store_memory_bytes"] / 2**20, 1),
+        "records": int(usage["records"]),
+        "num_nodes": profile.num_nodes,
+    }
+    return cluster.metrics.commits
+
+
 #: name → scenario, in report order.
 SCENARIOS: dict[str, Callable[[float], int]] = {
     "calibration": calibration,
@@ -406,6 +464,7 @@ SCENARIOS: dict[str, Callable[[float], int]] = {
     "network_send": network_send,
     "routing": routing,
     "end_to_end": end_to_end,
+    "scale_sim": scale_sim,
 }
 
 

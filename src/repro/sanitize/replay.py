@@ -75,6 +75,7 @@ def spec_payload(spec: ExperimentSpec) -> dict:
         "duration_s": spec.duration_s,
         "warmup_us": spec.warmup_us,
         "window_us": spec.window_us,
+        "scale": spec.scale,
         "params": spec.params,
     }
     try:
@@ -99,6 +100,7 @@ def spec_from_payload(payload: dict) -> ExperimentSpec:
         duration_s=payload.get("duration_s"),
         warmup_us=payload.get("warmup_us"),
         window_us=payload.get("window_us"),
+        scale=payload.get("scale"),
         params=params,
     )
 

@@ -19,10 +19,19 @@ from repro.storage.partitioning import (
     RangePartitioner,
     make_uniform_ranges,
 )
-from repro.storage.store import Record, RecordStore, state_fingerprint
+from repro.storage.store import (
+    STORE_BACKENDS,
+    ArrayRecordStore,
+    Record,
+    RecordStore,
+    StoreBackend,
+    make_store,
+    state_fingerprint,
+)
 from repro.storage.wal import Checkpoint, CommandLog, UndoLog
 
 __all__ = [
+    "ArrayRecordStore",
     "Checkpoint",
     "CommandLog",
     "HashPartitioner",
@@ -32,7 +41,10 @@ __all__ = [
     "RangePartitioner",
     "Record",
     "RecordStore",
+    "STORE_BACKENDS",
+    "StoreBackend",
     "UndoLog",
+    "make_store",
     "make_uniform_ranges",
     "state_fingerprint",
 ]

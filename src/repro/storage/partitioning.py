@@ -119,6 +119,53 @@ class RangePartitioner(Partitioner):
         self._starts = starts
         self._owners = owners
 
+    def homes_bulk(self, keys: Iterable[int]) -> list[NodeId]:
+        """Static homes of ``keys``, in order, one bisect per key.
+
+        Exactly ``[self.home(k) for k in keys]`` minus the per-call
+        attribute lookups and the type check — the batch fast path
+        ownership views use once their per-key memo is capped, so bulk
+        routing stays O(len(keys) · log segments) with O(1) extra
+        memory no matter how large the keyspace is.
+        """
+        starts = self._starts
+        owners = self._owners
+        lookup = bisect.bisect_right
+        out: list[NodeId] = []
+        append = out.append
+        for key in keys:
+            index = lookup(starts, key) - 1
+            append(owners[index if index >= 0 else 0])
+        return out
+
+    def owner_spans(
+        self, key_lo: int, key_hi: int
+    ) -> Iterable[tuple[int, int, NodeId]]:
+        """Yield ``(lo, hi, owner)`` spans covering ``[key_lo, key_hi)``.
+
+        The interval form of :meth:`home`: a bisect finds the first
+        overlapping segment and the scan stops past ``key_hi``, so the
+        cost is O(log segments + spans yielded) — this is what lets a
+        2M-key bulk load place whole ranges without per-key lookups.
+        Keys below the first segment clamp to the first owner, exactly
+        as :meth:`home` does.
+        """
+        if key_hi <= key_lo:
+            return
+        starts = self._starts
+        owners = self._owners
+        index = bisect.bisect_right(starts, key_lo) - 1
+        if index < 0:
+            index = 0
+        lo = key_lo
+        while lo < key_hi:
+            end = starts[index + 1] if index + 1 < len(starts) else key_hi
+            hi = min(end, key_hi)
+            if hi > lo:
+                yield lo, hi, owners[index]
+            lo = hi
+            index += 1
+
     def segments(self) -> list[tuple[int, NodeId]]:
         """Current (start, owner) segments, for inspection and plans."""
         return list(zip(self._starts, self._owners))

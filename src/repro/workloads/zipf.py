@@ -44,10 +44,97 @@ def _zipf_cdf_list(n: int, theta: float) -> list[float]:
     return _zipf_cdf(n, theta).tolist()
 
 
+#: Keyspaces at or above this size use the block-lazy CDF; below it the
+#: fully materialized list (the original fast path) is kept verbatim.
+LAZY_CDF_THRESHOLD = 1 << 18
+
+#: Ranks per lazily materialized CDF block (must divide work evenly; any
+#: power of two works — 16384 floats ≈ 128 KB per cached block).
+_LAZY_BLOCK = 1 << 14
+
+
+class _LazyZipfCdf:
+    """Zipf CDF over millions of ranks without materializing it.
+
+    Stores only the *block-boundary* running sums (one float per
+    ``_LAZY_BLOCK`` ranks) plus a tiny cache of recently materialized
+    blocks.  A draw bisects the boundary list to pick a block, then
+    bisects inside the (re)materialized block.
+
+    Bit-identical to the materialized path by construction: block
+    partial sums are computed with ``np.cumsum`` seeded by the previous
+    block's carry *prepended to the array*, so every float addition
+    happens in exactly the order of one full ``np.cumsum``; the
+    normalizing division by the same total is elementwise and exact.
+    Since every compared value is identical, every ``bisect`` lands on
+    the identical rank.
+    """
+
+    __slots__ = ("n", "theta", "total", "_raw_bounds", "_bounds", "_blocks")
+
+    def __init__(self, n: int, theta: float) -> None:
+        self.n = n
+        self.theta = theta
+        raw_bounds: list[float] = []
+        carry = 0.0
+        for lo in range(0, n, _LAZY_BLOCK):
+            chunk = self._raw_chunk(lo, min(lo + _LAZY_BLOCK, n), carry)
+            carry = float(chunk[-1])
+            raw_bounds.append(carry)
+        self.total = carry
+        self._raw_bounds = raw_bounds
+        self._bounds = [b / carry for b in raw_bounds]
+        self._blocks: dict[int, list[float]] = {}
+
+    def _raw_chunk(self, lo: int, hi: int, carry: float) -> np.ndarray:
+        """Running sums of ranks ``lo..hi-1`` continuing from ``carry``.
+
+        ``np.cumsum`` accumulates strictly left to right, so prepending
+        the carry reproduces the exact additions (and roundings) the
+        full-array ``np.cumsum`` would have performed over this span.
+        """
+        ranks = np.arange(lo + 1, hi + 1, dtype=np.float64)
+        weights = ranks ** (-self.theta)
+        if carry:
+            return np.cumsum(np.concatenate(([carry], weights)))[1:]
+        return np.cumsum(weights)
+
+    def _block(self, index: int) -> list[float]:
+        block = self._blocks.get(index)
+        if block is None:
+            lo = index * _LAZY_BLOCK
+            carry = self._raw_bounds[index - 1] if index else 0.0
+            raw = self._raw_chunk(lo, min(lo + _LAZY_BLOCK, self.n), carry)
+            block = (raw / self.total).tolist()
+            if len(self._blocks) >= 8:
+                self._blocks.pop(next(iter(self._blocks)))
+            self._blocks[index] = block
+        return block
+
+    def locate(self, u: float) -> int:
+        """The rank the materialized CDF's ``bisect_left`` would pick."""
+        index = bisect_left(self._bounds, u)
+        if index >= len(self._bounds):
+            index = len(self._bounds) - 1
+        return index * _LAZY_BLOCK + bisect_left(self._block(index), u)
+
+
+@lru_cache(maxsize=8)
+def _lazy_zipf_cdf(n: int, theta: float) -> _LazyZipfCdf:
+    """Shared lazy CDFs (the block cache amortizes across samplers)."""
+    return _LazyZipfCdf(n, theta)
+
+
 class ZipfSampler:
     """Samples ranks 0..n-1 with P(rank r) ∝ 1/(r+1)^θ."""
 
-    def __init__(self, n: int, theta: float, rng: DeterministicRNG) -> None:
+    def __init__(
+        self,
+        n: int,
+        theta: float,
+        rng: DeterministicRNG,
+        lazy: bool | None = None,
+    ) -> None:
         if n < 1:
             raise ConfigurationError("Zipf needs at least one item")
         if theta < 0:
@@ -55,13 +142,46 @@ class ZipfSampler:
         self.n = n
         self.theta = theta
         self._rng = rng
-        self._cdf = _zipf_cdf(n, theta)
-        self._cdf_list = _zipf_cdf_list(n, theta)
         # Closed-loop drivers call the sampler once per generated
         # transaction, so it sits on the end-to-end hot path; binding the
         # underlying ``random.Random.random`` skips two wrapper frames
         # per draw without touching the draw sequence.
         self._random = rng.py.random
+        if lazy is None:
+            lazy = n >= LAZY_CDF_THRESHOLD
+        if lazy:
+            # Million-key mode: block-lazy CDF, draw-identical to the
+            # materialized list (see _LazyZipfCdf).  The instance-level
+            # closures shadow the class methods so the small-n hot path
+            # below stays branch-free and byte-identical.
+            self._cdf = None
+            self._cdf_list = None
+            lazy_cdf = _lazy_zipf_cdf(n, theta)
+            locate = lazy_cdf.locate
+            random = self._random
+
+            def sample() -> int:
+                return locate(random())
+
+            def sample_distinct(count: int) -> list[int]:
+                if count > n:
+                    raise ConfigurationError(
+                        f"cannot draw {count} distinct items from {n}"
+                    )
+                seen: set[int] = set()
+                out: list[int] = []
+                while len(out) < count:
+                    rank = locate(random())
+                    if rank not in seen:
+                        seen.add(rank)
+                        out.append(rank)
+                return out
+
+            self.sample = sample  # type: ignore[method-assign]
+            self.sample_distinct = sample_distinct  # type: ignore[method-assign]
+        else:
+            self._cdf = _zipf_cdf(n, theta)
+            self._cdf_list = _zipf_cdf_list(n, theta)
 
     def sample(self) -> int:
         """One rank in [0, n); rank 0 is the hottest item."""

@@ -30,6 +30,25 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="jobs=1"):
             run_experiment(spec)
 
+    def test_unknown_params_suggest_close_match(self):
+        spec = ExperimentSpec(kind="multitenant", strategies=("calvin",),
+                              params={"partitioner_factoryy": None})
+        with pytest.raises(TypeError, match="did you mean "
+                           "'partitioner_factory'"):
+            run_experiment(spec)
+
+    def test_unknown_scale_rejected(self):
+        spec = ExperimentSpec(kind="multitenant", strategies=("calvin",),
+                              scale="4b")
+        with pytest.raises(ValueError, match="unknown scale '4b'"):
+            run_experiment(spec)
+
+    def test_scale_unsupported_kind_rejected(self):
+        spec = ExperimentSpec(kind="tpcc", strategies=("calvin",),
+                              scale="2m")
+        with pytest.raises(ValueError, match="does not support the scale"):
+            run_experiment(spec)
+
     def test_with_overrides_copies(self):
         spec = ExperimentSpec(kind="tpcc", strategies=("calvin",))
         other = spec.with_overrides(seed=11)
@@ -41,19 +60,18 @@ class TestDelegation:
     def test_legacy_wrapper_matches_spec(self):
         spec = ExperimentSpec(kind="tpcc", strategies=("calvin",), **TINY_TPCC)
         (via_spec,) = run_experiment(spec)
-        with pytest.deprecated_call():
-            (via_legacy,) = tpcc_comparison(
-                ["calvin"], 0.0, duration_s=0.2, clients=40, num_nodes=4,
-                seed=7,
-            )
+        (via_legacy,) = tpcc_comparison(
+            ["calvin"], 0.0, duration_s=0.2, clients=40, num_nodes=4,
+        )
         assert via_legacy.commits == via_spec.commits
         assert via_legacy.throughput_per_s == via_spec.throughput_per_s
 
-    def test_legacy_defaults_do_not_warn(self, recwarn):
-        tpcc_comparison(["calvin"], 0.0, duration_s=0.2, clients=40,
-                        num_nodes=4)
-        assert not [w for w in recwarn.list
-                    if issubclass(w.category, DeprecationWarning)]
+    def test_legacy_collapsed_kwargs_raise(self):
+        # The deprecation cycle ended: collapsed kwargs are now errors
+        # pointing at ExperimentSpec, not warnings.
+        with pytest.raises(TypeError, match="seed.*ExperimentSpec"):
+            tpcc_comparison(["calvin"], 0.0, duration_s=0.2, clients=40,
+                            num_nodes=4, seed=7)
 
     def test_trace_rides_along(self):
         tracer = Tracer(run="api-test")
@@ -76,6 +94,11 @@ class TestPresets:
             assert spec.kind in ("google", "tpcc", "tpcc_sweep",
                                  "multitenant", "scaleout",
                                  "forecast_robustness"), name
+
+    def test_scale_preset_rides_the_scale_axis(self):
+        spec = preset_spec("fig12_scale")
+        assert spec.kind == "multitenant"
+        assert spec.scale == "2m"
 
     def test_override(self):
         spec = preset_spec("fig07", seed=1, strategies=("hermes",))

@@ -8,6 +8,7 @@ and the keep-cluster escape hatch refuses to cross process boundaries.
 
 import pytest
 
+from repro.api import ExperimentSpec, run_experiment
 from repro.bench import figures
 from repro.bench.figures import multitenant_comparison
 from repro.bench.harness import parallel_map
@@ -44,13 +45,13 @@ class TestParallelMap:
 
 class TestFleetEquivalence:
     def test_multitenant_parallel_matches_serial(self):
-        kwargs = dict(
-            config=TINY, duration_s=0.4, clients=8, stats_window_s=0.1
+        spec = ExperimentSpec(
+            kind="multitenant", strategies=("calvin", "hermes"),
+            duration_s=0.4, window_us=100_000.0,
+            params={"config": TINY, "clients": 8},
         )
-        serial = multitenant_comparison(["calvin", "hermes"], **kwargs)
-        pooled = multitenant_comparison(
-            ["calvin", "hermes"], jobs=2, **kwargs
-        )
+        serial = run_experiment(spec)
+        pooled = run_experiment(spec.with_overrides(jobs=2))
         assert [r.strategy for r in pooled] == ["calvin", "hermes"]
         for a, b in zip(serial, pooled):
             assert a.commits == b.commits
@@ -61,7 +62,15 @@ class TestFleetEquivalence:
             assert a.extras == b.extras
 
     def test_keep_cluster_requires_serial(self):
+        spec = ExperimentSpec(
+            kind="multitenant", strategies=("calvin",),
+            jobs=2, keep_cluster=True,
+        )
         with pytest.raises(ValueError, match="keep_cluster"):
+            run_experiment(spec)
+
+    def test_legacy_collapsed_kwargs_raise(self):
+        with pytest.raises(TypeError, match="ExperimentSpec"):
             multitenant_comparison(["calvin"], jobs=2, keep_cluster=True)
 
     def test_tpcc_sweep_groups_by_hot_fraction(self, monkeypatch):

@@ -1,0 +1,106 @@
+"""Sharded sweep merge: digest verification and jobs-independence.
+
+The contract under test is the PR 2 fleet guarantee extended to grids:
+a sweep digest is a pure function of (specs, seeds), so running the
+same grid serially and across worker processes must fold to the same
+BLAKE2b digest bit-for-bit.
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.bench.sharded import (
+    ShardResult,
+    canonical_payload,
+    payload_digest,
+    run_sharded,
+)
+
+TINY = ExperimentSpec(
+    kind="tpcc",
+    strategies=("calvin", "hermes"),
+    duration_s=0.2,
+    params={"num_nodes": 4, "clients": 40},
+)
+SEEDS = (7, 11)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return run_sharded(TINY, SEEDS, jobs=1)
+
+
+class TestGrid:
+    def test_grid_shape_and_order(self, serial_sweep):
+        cells = [(s.config_index, s.seed) for s in serial_sweep.shards]
+        assert cells == [(0, 7), (0, 11)]
+        assert serial_sweep.cell(0, 11).seed == 11
+        with pytest.raises(KeyError):
+            serial_sweep.cell(1, 7)
+
+    def test_by_seed_view(self, serial_sweep):
+        view = serial_sweep.by_seed()
+        assert set(view) == set(SEEDS)
+        # Each payload carries one entry per strategy, in spec order.
+        assert [r["strategy"] for r in view[7]] == ["calvin", "hermes"]
+
+    def test_seed_changes_the_payload(self, serial_sweep):
+        a = serial_sweep.cell(0, 7)
+        b = serial_sweep.cell(0, 11)
+        assert a.digest != b.digest
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            run_sharded(TINY, ())
+        with pytest.raises(ValueError):
+            run_sharded((), SEEDS)
+
+
+class TestDigest:
+    def test_parallel_merge_is_bit_identical(self, serial_sweep):
+        pooled = run_sharded(TINY, SEEDS, jobs=2)
+        assert pooled.digest == serial_sweep.digest
+        for a, b in zip(serial_sweep.shards, pooled.shards):
+            assert (a.config_index, a.seed, a.digest) == (
+                b.config_index, b.seed, b.digest
+            )
+            assert a.payload == b.payload
+
+    def test_verify_catches_tampering(self, serial_sweep):
+        shard = serial_sweep.shards[0]
+        sweep = type(serial_sweep)(
+            specs=serial_sweep.specs, seeds=serial_sweep.seeds
+        )
+        sweep.shards.append(
+            ShardResult(
+                config_index=shard.config_index,
+                seed=shard.seed,
+                digest=shard.digest,
+                payload={"commits": -1},
+            )
+        )
+        with pytest.raises(ValueError, match="digest mismatch"):
+            sweep.verify()
+
+    def test_digest_is_order_sensitive(self, serial_sweep):
+        reversed_sweep = type(serial_sweep)(
+            specs=serial_sweep.specs, seeds=serial_sweep.seeds
+        )
+        reversed_sweep.shards.extend(reversed(serial_sweep.shards))
+        assert reversed_sweep.digest != serial_sweep.digest
+
+
+class TestCanonicalPayload:
+    def test_plain_scalars_pass_through(self):
+        obj = {"a": [1, 2.5, "x", None, True]}
+        payload = canonical_payload(obj)
+        assert payload == obj
+        assert payload_digest(payload) == payload_digest(canonical_payload(obj))
+
+    def test_live_objects_rejected(self):
+        with pytest.raises(TypeError, match="non-canonical"):
+            canonical_payload({"cluster": object()})
+
+    def test_keep_cluster_spec_rejected(self):
+        with pytest.raises(ValueError, match="keep_cluster"):
+            run_sharded(TINY.with_overrides(keep_cluster=True), SEEDS)

@@ -75,20 +75,22 @@ class TestPercentiles:
         assert p[0.5] == 200.0
         assert p[1.0] == 400.0
         assert metrics.latency_percentile_us(0.25) == 100.0
-        # Pre-`_us` aliases stay wired to the same histogram.
-        assert metrics.latency_percentiles((0.5,)) == {0.5: 200.0}
-        assert metrics.latency_percentile(0.25) == 100.0
+
+    def test_pre_us_aliases_removed(self):
+        metrics = ClusterMetrics(window_us=1000.0)
+        assert not hasattr(metrics, "latency_percentile")
+        assert not hasattr(metrics, "latency_percentiles")
 
     def test_empty_is_zero(self):
         metrics = ClusterMetrics(window_us=1000.0)
-        assert metrics.latency_percentile(0.99) == 0.0
+        assert metrics.latency_percentile_us(0.99) == 0.0
 
     def test_bad_quantile(self):
         metrics = ClusterMetrics(window_us=1000.0)
         with pytest.raises(ValueError):
-            metrics.latency_percentile(0.0)
+            metrics.latency_percentile_us(0.0)
         with pytest.raises(ValueError):
-            metrics.latency_percentile(1.5)
+            metrics.latency_percentile_us(1.5)
 
 
 class TestRegistryBacking:

@@ -31,10 +31,11 @@ WL_CONFIG = MultiTenantConfig(
 )
 
 
-def run_once(make_router, overlay_factory=None, seed=11):
+def run_once(make_router, overlay_factory=None, seed=11, store_backend="dict"):
     config = ClusterConfig(
         num_nodes=3,
         engine=EngineConfig(epoch_us=5_000.0, workers_per_node=2),
+        store_backend=store_backend,
     )
     overlay = overlay_factory() if overlay_factory else None
     cluster = Cluster(
@@ -79,6 +80,29 @@ def test_records_conserved(name, router, overlay):
     cluster = run_once(router, overlay)
     assert cluster.total_records() == WL_CONFIG.num_keys
     assert cluster.lock_manager.outstanding() == 0
+
+
+@pytest.mark.parametrize("name,router,overlay", STRATEGIES)
+def test_store_backend_is_invisible(name, router, overlay):
+    """The scale-out guarantee at small scale: swapping the per-node
+    store from per-record dicts to array slabs must not move a single
+    observable — commits, record values, or physical placement."""
+    a = run_once(router, overlay, store_backend="dict")
+    b = run_once(router, overlay, store_backend="array")
+    assert a.metrics.commits == b.metrics.commits
+    assert a.state_fingerprint() == b.state_fingerprint()
+    assert a.placement_snapshot() == b.placement_snapshot()
+    assert a.metrics.remote_reads == b.metrics.remote_reads
+    assert a.metrics.evictions == b.metrics.evictions
+
+
+def test_array_backend_two_runs_identical():
+    """Array-backed runs are self-deterministic, not just dict-equal."""
+    a = run_once(PrescientRouter, STRATEGIES[-1][2], store_backend="array")
+    b = run_once(PrescientRouter, STRATEGIES[-1][2], store_backend="array")
+    assert a.metrics.commits == b.metrics.commits
+    assert a.state_fingerprint() == b.state_fingerprint()
+    assert a.placement_snapshot() == b.placement_snapshot()
 
 
 def test_different_seeds_differ():

@@ -36,6 +36,14 @@ class TestSpecPayload:
         assert back.strategies == spec.strategies
         assert back.seed == spec.seed
 
+    def test_scale_axis_round_trips(self):
+        # Regression: dropping scale= here made the subprocess legs run
+        # the *unscaled* preset — dual replay then compared two
+        # different experiments instead of two replays of one.
+        spec = preset_spec("fig12_scale")
+        back = spec_from_payload(spec_payload(spec))
+        assert back.scale == spec.scale == "2m"
+
     def test_rejects_non_json_params(self):
         spec = _tiny_spec(params={"cb": object()})
         with pytest.raises(ValueError, match="JSON-serializable"):
