@@ -158,6 +158,10 @@ VALID_PARAMS: dict[str, frozenset[str]] = {
         {"error_levels", "forecaster", "num_nodes", "num_keys",
          "rate_scale", "detector"}
     ),
+    "replication": frozenset(
+        {"num_nodes", "num_keys", "rate_scale", "ycsb_overrides",
+         "schism_periods", "forecaster", "replication"}
+    ),
 }
 
 #: Kinds whose runner understands the ``scale`` axis.
@@ -385,6 +389,32 @@ def _run_forecast_robustness(
     }
 
 
+def _run_replication(spec: ExperimentSpec) -> list[ExperimentResult]:
+    """The replication-vs-migration comparison: baselines and the
+    replica-provisioned variants on the Google-YCSB workload."""
+    p = dict(spec.params)
+    num_nodes = _param(p, "num_nodes", GOOGLE_BENCH["num_nodes"])
+    num_keys = _param(p, "num_keys", GOOGLE_BENCH["num_keys"])
+    rate_scale = _param(p, "rate_scale", 4_500.0)
+    overrides = dict(_param(p, "ycsb_overrides", {}))
+    schism_periods = p.pop("schism_periods", None)
+    forecaster = _param(p, "forecaster", "oracle")
+    replication_params = dict(_param(p, "replication", {}))
+    _reject_unknown("replication", p)
+    duration_us = _duration_us(spec, GOOGLE_BENCH["duration_s"])
+    opts = _opts(spec)
+    tasks = [
+        (
+            name, num_nodes, num_keys, rate_scale, duration_us, overrides,
+            schism_periods.get(name) if schism_periods else None,
+            forecaster, replication_params, spec.seed, spec.keep_cluster,
+            opts,
+        )
+        for name in spec.strategies
+    ]
+    return parallel_map(_figures._replication_task, tasks, jobs=spec.jobs)
+
+
 _RUNNERS: dict[str, Callable[[ExperimentSpec], object]] = {
     "google": _run_google,
     "tpcc": _run_tpcc,
@@ -392,6 +422,7 @@ _RUNNERS: dict[str, Callable[[ExperimentSpec], object]] = {
     "multitenant": _run_multitenant,
     "scaleout": _run_scaleout,
     "forecast_robustness": _run_forecast_robustness,
+    "replication": _run_replication,
 }
 
 
@@ -457,5 +488,23 @@ PRESETS: dict[str, Callable[[], ExperimentSpec]] = {
                     "hermes-forecast-nofallback"),
         duration_s=4.0,
         params={"error_levels": (0.0, 0.6, 0.9), "forecaster": "oracle"},
+    ),
+    # Replication vs. migration: adaptive read replication (and its
+    # request-cloning mode) against the prescient and look-back
+    # baselines, reporting distributed-txn ratio, p99, and the
+    # replication-bytes / migration-bytes trade.
+    "replication": lambda: ExperimentSpec(
+        kind="replication",
+        strategies=("calvin", "clay", "schism1", "hermes",
+                    "hermes-replica", "hermes-clone"),
+        duration_s=4.0,
+        # Read-mostly mix: the regime where read replication (vs. write
+        # migration) is the right tool; all six rows share it so the
+        # byte-for-byte trade-off is apples to apples.
+        params={
+            "schism_periods": {"schism1": (0.05, 0.45)},
+            "ycsb_overrides": {"rw_ratio": 0.2},
+            "replication": {"provision_interval": 2},
+        },
     ),
 }

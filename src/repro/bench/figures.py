@@ -57,6 +57,11 @@ from repro.forecast import (
     OracleForecaster,
     SeasonalNaiveForecaster,
 )
+from repro.replication import (
+    ReplicationConfig,
+    ReplicationCoordinator,
+    ReplicationRouter,
+)
 from repro.storage.partitioning import Partitioner, make_uniform_ranges
 from repro.workloads.google_trace import SyntheticGoogleTrace
 from repro.workloads.multitenant import (
@@ -445,6 +450,161 @@ def _forecast_task(task: tuple) -> ExperimentResult:
         trace=opts.get("trace"),
     )
     result.extras["error_level"] = error_level
+    result.extras["forecaster"] = forecaster_name
+    return result
+
+
+# ----------------------------------------------------------------------
+# Adaptive read replication (replication vs. migration trade-off)
+# ----------------------------------------------------------------------
+
+#: The replica-provisioned strategy variants `_replication_spec`
+#: understands, beyond the plain baselines (`calvin`, `clay`, `hermes`,
+#: and `schism*` via an offline-trained partitioner).
+REPLICATION_VARIANTS = ("hermes-replica", "hermes-clone")
+
+
+def _replication_spec(
+    variant: str,
+    *,
+    num_nodes: int,
+    num_keys: int,
+    forecaster_name: str,
+    seed: int,
+    replication_params: dict | None = None,
+) -> StrategySpec:
+    """Strategy spec for one replication-comparison variant.
+
+    ``hermes-replica`` wraps prescient routing in a
+    :class:`ReplicationRouter` (forecast-provisioned read replicas,
+    deterministic replica-read routing); ``hermes-clone`` additionally
+    clones replica-eligible reads to every valid holder (request
+    cloning, arXiv 2002.04416).  Neither uses the fusion-table overlay:
+    the point of the comparison is replication *bytes* versus migration
+    *bytes*, so reads replicate while writes still migrate through the
+    plain overlay path.  Other names delegate to :func:`google_spec`.
+    """
+    if variant not in REPLICATION_VARIANTS:
+        return google_spec(variant, num_keys)
+    params = dict(replication_params or {})
+    rng = DeterministicRNG(seed, "replication", variant)
+    forecaster = _make_forecaster(forecaster_name, rng, num_nodes, num_keys)
+    config = ReplicationConfig(
+        key_lo=0,
+        key_hi=num_keys,
+        range_records=params.get("range_records", max(32, num_keys // 800)),
+        provision_interval=params.get("provision_interval", 4),
+        max_ranges_per_cycle=params.get("max_ranges_per_cycle", 8),
+        clone=variant == "hermes-clone",
+    )
+    router_holder: list[ReplicationRouter] = []
+
+    def make_router() -> ReplicationRouter:
+        router = ReplicationRouter(forecaster, config)
+        router_holder.append(router)
+        return router
+
+    def attach(cluster: Cluster) -> ReplicationCoordinator:
+        return ReplicationCoordinator(cluster, router_holder[-1])
+
+    return StrategySpec(
+        name=variant,
+        make_router=make_router,
+        attach=attach,
+        notes="forecast-provisioned read replicas over prescient routing",
+    )
+
+
+def _replication_task(task: tuple) -> ExperimentResult:
+    """One replication-comparison run (pool worker).
+
+    Extras carry the trade-off figure's axes: ``migration_bytes``
+    (records that changed owner × record size) against
+    ``replication_bytes`` (records copied into replica side-stores ×
+    record size), plus the distributed-transaction ratio and p99 the
+    harness already reports.
+    """
+    (name, num_nodes, num_keys, rate_scale, duration_us, overrides,
+     schism_period, forecaster_name, replication_params, seed,
+     keep_cluster, opts) = task
+    overrides = dict(overrides)
+    ycsb_config = YCSBConfig(
+        num_keys=num_keys,
+        num_partitions=num_nodes,
+        zipf_theta=overrides.pop("zipf_theta", 0.8),
+        global_cycle_us=overrides.pop("global_cycle_us", duration_us / 2),
+        **overrides,
+    )
+    trace_config = bench_trace_config(num_nodes, duration_us / 1e6)
+    trace = SyntheticGoogleTrace(trace_config, DeterministicRNG(seed, "trace"))
+
+    def workload_factory(rng: DeterministicRNG) -> GoogleYCSBWorkload:
+        return GoogleYCSBWorkload(ycsb_config, trace, rng)
+
+    def rate_fn(now_us: float) -> float:
+        return rate_scale * trace.total_load_at(now_us)
+
+    if schism_period is not None:
+        lo_frac, hi_frac = schism_period
+        partitioner = _schism_partitioner_factory(
+            ycsb_config, trace, lo_frac * duration_us,
+            hi_frac * duration_us, num_nodes, seed,
+        )
+        spec = make_strategy("calvin")
+        spec.name = name
+    else:
+        partitioner = lambda: make_uniform_ranges(  # noqa: E731
+            num_keys, num_nodes
+        )
+        spec = _replication_spec(
+            name,
+            num_nodes=num_nodes,
+            num_keys=num_keys,
+            forecaster_name=forecaster_name,
+            seed=seed,
+            replication_params=replication_params,
+        )
+
+    # The worker outlives run_workload, so a before_run capture is all
+    # that is needed to harvest byte accounting without keep_cluster.
+    cluster_holder: list[Cluster] = []
+
+    result = run_workload(
+        spec,
+        cluster_config=bench_cluster_config(
+            num_nodes, store_backend=opts.get("store_backend", "dict")
+        ),
+        partitioner_factory=partitioner,
+        workload_factory=workload_factory,
+        keys=range(num_keys),
+        seed=seed,
+        duration_us=duration_us,
+        warmup_us=opts.get("warmup_us") if opts.get("warmup_us") is not None
+        else min(2_000_000.0, duration_us / 5),
+        drain=False,
+        mode="open",
+        rate_per_s=rate_fn,
+        stats_window_us=opts.get("window_us")
+        if opts.get("window_us") is not None
+        else max(500_000.0, duration_us / 16),
+        before_run=cluster_holder.append,
+        keep_cluster=keep_cluster,
+        trace=opts.get("trace"),
+    )
+    (cluster,) = cluster_holder
+    record_bytes = ycsb_config.record_bytes
+    migration_records = sum(
+        node.records_migrated_in for node in cluster.nodes
+    )
+    replication_records = sum(
+        node.records_replicated_in for node in cluster.nodes
+    )
+    result.extras["migration_records"] = migration_records
+    result.extras["migration_bytes"] = migration_records * record_bytes
+    result.extras["replication_records"] = replication_records
+    result.extras["replication_bytes"] = replication_records * record_bytes
+    result.extras["replica_reads"] = cluster.metrics.replica_reads
+    result.extras["cloned_reads"] = cluster.metrics.cloned_reads
     result.extras["forecaster"] = forecaster_name
     return result
 

@@ -24,6 +24,28 @@ key is located at **at this transaction's position in the planned
 sequence**, as computed by the router against its deterministic ownership
 view.  The engine's lock manager guarantees physical reality matches the
 plan, and the executor asserts it.
+
+Three optional fields extend the contract for the replication layer
+(:mod:`repro.replication`); all default to ``None`` so plan allocation
+for the dominant non-replicated case stays exactly as cheap as before:
+
+* ``replica_reads`` — per serve location, the subset of its
+  ``reads_from`` keys served from the node's *replica side-store*
+  instead of its primary store.  Replica-served keys take **no locks**:
+  the replication router's invalidation rule guarantees no write is
+  sequenced between a replica's install and any read routed to it, so
+  the side-store value already equals the serializable value at this
+  transaction's position.
+* ``cloned_reads`` — per node, *extra* lock-free serve locations for
+  keys that some other node already serves (request cloning,
+  arXiv 2002.04416).  The master uses whichever copy of each key
+  arrives first; clones are excluded from the one-location-per-key
+  validation and from :meth:`TxnPlan.execution_nodes` because the
+  transaction never waits on them.
+* ``replica_installs`` — keys this MIGRATION transaction *copies* into
+  the destination's replica side-store.  Unlike ``migrations``, the
+  source keeps its record: the serve ships a copy and the primary
+  placement (and hence every state fingerprint) is untouched.
 """
 
 from __future__ import annotations
@@ -58,6 +80,12 @@ class TxnPlan:
     migrations: tuple[Migration, ...] = ()
     writebacks: tuple[Migration, ...] = ()
     evictions: tuple[Migration, ...] = ()
+    #: ``None`` (not ``{}``) when replication is off: the executor's hot
+    #: paths branch on one ``is None`` check and plan construction never
+    #: allocates empty containers for the dominant case.
+    replica_reads: dict[NodeId, frozenset[Key]] | None = None
+    cloned_reads: dict[NodeId, frozenset[Key]] | None = None
+    replica_installs: frozenset[Key] | None = None
 
     @property
     def coordinator(self) -> NodeId:
@@ -136,6 +164,38 @@ class TxnPlan:
                 raise RoutingError(
                     f"txn {self.txn.txn_id}: migrates {move.key!r} which it "
                     "does not access"
+                )
+        if self.replica_reads is not None:
+            write_set = set(self.txn.write_set)
+            for node, keys in self.replica_reads.items():
+                if not set(keys) <= set(self.reads_from.get(node, frozenset())):
+                    raise RoutingError(
+                        f"txn {self.txn.txn_id}: node {node} replica-reads "
+                        "keys it is not a serve location for"
+                    )
+                if set(keys) & write_set:
+                    raise RoutingError(
+                        f"txn {self.txn.txn_id}: replica reads overlap the "
+                        "write set"
+                    )
+        if self.cloned_reads is not None:
+            write_set = set(self.txn.write_set)
+            for node, keys in self.cloned_reads.items():
+                if not set(keys) <= full:
+                    raise RoutingError(
+                        f"txn {self.txn.txn_id}: node {node} clones keys "
+                        "outside the transaction's footprint"
+                    )
+                if set(keys) & write_set:
+                    raise RoutingError(
+                        f"txn {self.txn.txn_id}: cloned reads overlap the "
+                        "write set"
+                    )
+        if self.replica_installs is not None:
+            if not set(self.replica_installs) <= full:
+                raise RoutingError(
+                    f"txn {self.txn.txn_id}: replica-installs keys outside "
+                    "the transaction's footprint"
                 )
         if num_nodes_hint is not None:
             for node in self.participant_nodes():

@@ -50,16 +50,28 @@ class ChunkMigration:
     ``keys`` is the chunk's key list; ``range_reassign`` optionally names
     an integer range ``[lo, hi)`` whose *static home* becomes ``dst``
     when the chunk is planned (range-partitioned keyspaces only).
+
+    ``copy`` turns the chunk into a *replica install* (adaptive read
+    replication): the sources keep their records and ``dst`` receives
+    copies into its replica side-store.  Copy chunks are planned by
+    :func:`repro.core.router.build_replica_install_plan`, never by
+    :func:`repro.core.router.build_chunk_migration_plan` — primary
+    ownership must not change.
     """
 
     src: NodeId
     dst: NodeId
     keys: tuple
     range_reassign: tuple[int, int] | None = None
+    copy: bool = False
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
             raise ConfigurationError("chunk migration to its own node")
+        if self.copy and self.range_reassign is not None:
+            raise ConfigurationError(
+                "a copy chunk cannot reassign static homes"
+            )
 
 
 @dataclass(frozen=True, slots=True)

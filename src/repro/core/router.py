@@ -120,6 +120,14 @@ class OwnershipView:
         #: together with the static partitioner's version it forms the
         #: :meth:`version_token` that footprint caches key on.
         self._mutations = 0
+        #: Replica sets layered over primary placement, attached by a
+        #: :class:`repro.replication.ReplicationRouter` (a
+        #: :class:`repro.replication.directory.ReplicaDirectory`).
+        #: Deliberately *outside* :meth:`version_token`: replicas never
+        #: change which node owns a key, so footprints cached by the
+        #: PR 7 footprint cache stay valid across installs, retires,
+        #: and invalidations.
+        self.replicas = None
 
     def version_token(self) -> tuple[int, int]:
         """Opaque token identifying the current placement state.
@@ -521,6 +529,12 @@ def build_chunk_migration_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
     chunk = txn.payload
     if chunk is None:
         raise RoutingError(f"migration txn {txn.txn_id} lacks a chunk payload")
+    if getattr(chunk, "copy", False):
+        raise RoutingError(
+            f"migration txn {txn.txn_id} carries a copy chunk; replica "
+            "installs are planned by build_replica_install_plan (a "
+            "ReplicationRouter must intercept them before the inner router)"
+        )
 
     chunk_keys = tuple(chunk.keys)
     owners = view.ownership.owners_bulk(chunk_keys)
@@ -577,6 +591,52 @@ def build_chunk_migration_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
         reads_from=reads_from,
         migrations=migrations,
         evictions=tuple(evictions),
+    )
+
+
+def build_replica_install_plan(txn: Transaction, view: ClusterView) -> TxnPlan:
+    """Plan a replica-install chunk (a MIGRATION txn with a copy chunk).
+
+    The chunk's keys are read — under ordinary S locks, at whichever
+    node *currently* owns each key — and shipped to ``chunk.dst`` as
+    copies; the destination installs them into its replica side-store.
+    Primary ownership, the ownership view, and every store fingerprint
+    are untouched: no ``migrations``, no ``record_move``, no eviction.
+
+    *Every* chunk key is copied, including keys ``dst`` currently owns
+    (those serve locally): the replica directory tracks validity at
+    range granularity, so a holder's side-store must cover the whole
+    range — a partial copy would leave later replica reads of the
+    uncovered keys with nothing to serve if primary ownership shifts.
+    """
+    if txn.kind is not TxnKind.MIGRATION:
+        raise RoutingError("build_replica_install_plan requires MIGRATION")
+    chunk = txn.payload
+    if chunk is None or not getattr(chunk, "copy", False):
+        raise RoutingError(
+            f"migration txn {txn.txn_id} is not a replica-install chunk"
+        )
+
+    chunk_keys = tuple(chunk.keys)
+    owners = view.ownership.owners_bulk(chunk_keys)
+    reads_from: dict[NodeId, set[Key]] = {}
+    for key, owner in zip(chunk_keys, owners):
+        reads_from.setdefault(owner, set()).add(key)
+
+    effective = Transaction(
+        txn_id=txn.txn_id,
+        read_set=frozenset(chunk_keys),
+        write_set=frozenset(),
+        kind=TxnKind.MIGRATION,
+        arrival_time=txn.arrival_time,
+        profile=txn.profile,
+        payload=chunk,
+    )
+    return TxnPlan(
+        txn=effective,
+        masters=(chunk.dst,),
+        reads_from={n: frozenset(k) for n, k in reads_from.items()},
+        replica_installs=frozenset(chunk_keys),
     )
 
 

@@ -87,7 +87,7 @@ class TxnRuntime:
         "_expected_from", "_received_from", "_migrated_by_src",
         "_release_stage", "_lock_mode", "_lock_order_sorted",
         "_all_groups", "_sole_group", "_evict_group", "_groups",
-        "_serve_done",
+        "_serve_done", "_serve_keys", "_replica_at", "_missing_keys",
     )
 
     #: Grant callbacks take the granted key (see ``on_lock_granted``);
@@ -125,7 +125,31 @@ class TxnRuntime:
         # -- classify keys: lock mode and release stage ---------------------
         write_set = txn.write_set
         ordered_keys = txn.ordered_keys
-        if plan.migrations:
+        replica_reads = plan.replica_reads
+        if replica_reads is not None:
+            # Replica-served keys take no locks at all: the replication
+            # router's batch-granular invalidation guarantees no write is
+            # sequenced between a replica's install and this read, so the
+            # side-store value is already the serializable one (the whole
+            # point — replica reads skip the lock queue *and* the wait).
+            lockfree: set[Key] = set()
+            for keys in replica_reads.values():
+                lockfree.update(keys)
+            migrated_keys = (
+                {m.key for m in plan.migrations} if plan.migrations else ()
+            )
+            release_stage: dict[Key, int] = {}
+            lock_mode: dict[Key, LockMode] = {}
+            for key in ordered_keys:
+                if key in lockfree:
+                    continue
+                if key in write_set or key in migrated_keys:
+                    lock_mode[key] = _X
+                    release_stage[key] = _STAGE_COMMIT
+                else:
+                    lock_mode[key] = _S
+                    release_stage[key] = _STAGE_READ
+        elif plan.migrations:
             migrated_keys = {m.key for m in plan.migrations}
             release_stage: dict[Key, int] = {}
             lock_mode: dict[Key, LockMode] = {}
@@ -177,14 +201,47 @@ class TxnRuntime:
         # -- lock groups per serve location ---------------------------------
         self._groups: dict[NodeId, _LockGroup] = {}
         all_groups: list[_LockGroup] = []
-        for loc, keys in plan.reads_from.items():
-            if keys:
-                group = _LockGroup(
-                    keys,
-                    kernel.event(f"locks:{txn_id}@{loc}" if named else ""),
+        cloned_reads = plan.cloned_reads
+        if replica_reads is None and cloned_reads is None:
+            self._serve_keys = plan.reads_from
+            self._replica_at = _NO_MOVES
+            for loc, keys in plan.reads_from.items():
+                if keys:
+                    group = _LockGroup(
+                        keys,
+                        kernel.event(f"locks:{txn_id}@{loc}" if named else ""),
+                    )
+                    self._groups[loc] = group
+                    all_groups.append(group)
+        else:
+            # Serve keys per location = plan reads plus any clones; the
+            # lock group at a location covers only its *locked* keys.  A
+            # location left without locked keys (pure replica/clone
+            # serve) gets no group and serves straight from dispatch.
+            replica_at: dict[NodeId, frozenset[Key]] = (
+                dict(replica_reads) if replica_reads else {}
+            )
+            serve_keys: dict[NodeId, frozenset[Key]] = dict(plan.reads_from)
+            if cloned_reads:
+                for loc, extra in cloned_reads.items():
+                    base = replica_at.get(loc)
+                    replica_at[loc] = extra if base is None else (base | extra)
+                    held = serve_keys.get(loc)
+                    serve_keys[loc] = extra if held is None else (held | extra)
+            self._replica_at = replica_at
+            self._serve_keys = serve_keys
+            for loc, keys in plan.reads_from.items():
+                lockfree_here = (
+                    replica_reads.get(loc) if replica_reads else None
                 )
-                self._groups[loc] = group
-                all_groups.append(group)
+                locked = keys - lockfree_here if lockfree_here else keys
+                if locked:
+                    group = _LockGroup(
+                        locked,
+                        kernel.event(f"locks:{txn_id}@{loc}" if named else ""),
+                    )
+                    self._groups[loc] = group
+                    all_groups.append(group)
         self._evict_group: _LockGroup | None = None
         if plan.evictions:
             eviction_keys = frozenset(m.key for m in plan.evictions)
@@ -238,6 +295,17 @@ class TxnRuntime:
             self._inbox = {m: [] for m in masters}
             self._received_from = {m: set() for m in masters}
             self._values = {m: {} for m in masters}
+        if cloned_reads is not None:
+            # Request cloning: readiness switches from "every expected
+            # serve location reported" to "every footprint key has a
+            # value" — the master proceeds on the first copy of each key
+            # and late clones merely top up idempotent state.
+            full_set = txn.full_set
+            self._missing_keys: dict[NodeId, set[Key]] | None = {
+                m: set(full_set) for m in masters
+            }
+        else:
+            self._missing_keys = None
         self._serve_done: dict[NodeId, float] = {}
         self.will_abort = txn.aborts
 
@@ -320,9 +388,9 @@ class TxnRuntime:
         disappears from the per-transaction cost.
         """
         call_soon = self.cluster.kernel.call_soon
-        reads_from = self.plan.reads_from
-        for loc in reads_from:
-            if reads_from[loc]:
+        serve_keys = self._serve_keys
+        for loc in serve_keys:
+            if serve_keys[loc]:
                 call_soon(self._serve_entry, loc)
         for master in self.plan.masters:
             call_soon(self._master_entry, master)
@@ -332,15 +400,25 @@ class TxnRuntime:
     # ------------------------------------------------------------------
 
     def _serve_entry(self, loc: NodeId) -> None:
-        self._groups[loc].event.add_waiter(partial(self._serve_locked, loc))
+        group = self._groups.get(loc)
+        if group is None:
+            # Pure replica/clone serve location: nothing to lock, serve
+            # immediately (mirrors the lock-free master-entry path).
+            self._serve_locked(loc)
+        else:
+            group.event.add_waiter(partial(self._serve_locked, loc))
 
     def _serve_locked(self, loc: NodeId, _value: object = None) -> None:
         cluster = self.cluster
         kernel = cluster.kernel
-        group = self._groups[loc]
+        group = self._groups.get(loc)
         if loc == self.coordinator and self.t_locks is None:
-            self.t_locks = group.granted_at
-        cpu = cluster.config.costs.local_access_us * len(group.keys)
+            self.t_locks = (
+                group.granted_at if group is not None else self.t_dispatched
+            )
+        cpu = cluster.config.costs.local_access_us * len(
+            self._serve_keys[loc]
+        )
         cluster.nodes[loc].workers.submit(
             cpu,
             partial(
@@ -354,7 +432,7 @@ class TxnRuntime:
         cluster = self.cluster
         kernel = cluster.kernel
         txn = self.txn
-        keys = self._groups[loc].keys
+        keys = self._serve_keys[loc]
         tracer = cluster.tracer
         if tracer is not None:
             tracer.serve(txn.txn_id, loc, t_serve_start, len(keys))
@@ -381,9 +459,29 @@ class TxnRuntime:
                 if key not in migrating_keys:
                     values[key] = store.read(key).value
         else:
-            read = store.read
-            values = {key: read(key).value for key in keys}
-            records = []
+            replica_here = self._replica_at.get(loc)
+            installs = self.plan.replica_installs
+            if replica_here is None and installs is None:
+                read = store.read
+                values = {key: read(key).value for key in keys}
+                records = []
+            else:
+                # Replica-served keys come from the node's side-store;
+                # install keys ship *copies* (the primary keeps its
+                # record — contrast the migration detach above).
+                read = store.read
+                replicas = cluster.nodes[loc].replicas
+                values = {}
+                records = []
+                for key in keys:
+                    if replica_here is not None and key in replica_here:
+                        values[key] = replicas.read(key).value
+                    elif installs is not None and key in installs:
+                        record = read(key).copy()
+                        records.append(record)
+                        values[key] = record.value
+                    else:
+                        values[key] = read(key).value
 
         masters = self.plan.masters
         if len(masters) > 1 or masters[0] != loc:
@@ -415,7 +513,12 @@ class TxnRuntime:
         if loc in self.plan.masters:
             self._note_data(loc, loc, records, values)
 
-        self._release_stage_keys(loc, keys, _STAGE_READ)
+        # Only *locked* keys release here — replica/clone serves hold no
+        # locks, and a clone of a primary-served key must not release the
+        # lock its primary serve still owns.
+        group = self._groups.get(loc)
+        if group is not None:
+            self._release_stage_keys(loc, group.keys, _STAGE_READ)
 
     def _make_delivery(
         self,
@@ -447,9 +550,25 @@ class TxnRuntime:
         self._values[master].update(values)
         expected = self._expected_from[master]
         expected.discard(loc)
+        missing = self._missing_keys
+        if missing is not None:
+            hole = missing[master]
+            if hole:
+                hole.difference_update(values)
         self._maybe_data_ready(master)
 
     def _maybe_data_ready(self, master: NodeId) -> None:
+        missing = self._missing_keys
+        if missing is not None:
+            # Cloned plans gate on key coverage, not location coverage:
+            # the first arriving copy of the last missing key unblocks
+            # the master (later copies land in idempotent state).
+            if missing[master]:
+                return
+            event = self._data_ready[master]
+            if not event.triggered:
+                event.trigger()
+            return
         needs_own = (
             master in self.plan.reads_from
             and bool(self.plan.reads_from[master])
@@ -529,10 +648,20 @@ class TxnRuntime:
                 logic_cpu, apply_cpu, len(incoming),
             )
         if incoming:
-            install = node.store.install
-            for record in incoming:
-                install(record)
-            node.records_migrated_in += len(incoming)
+            if self.plan.replica_installs is not None:
+                # Replica-install chunk: copies land in the side-store,
+                # never the primary store — placement, fingerprints, and
+                # migration counters are untouched.
+                install = node.replicas.install
+                for record in incoming:
+                    install(record)
+                node.records_replicated_in += len(incoming)
+                cluster.metrics.replica_installs += len(incoming)
+            else:
+                install = node.store.install
+                for record in incoming:
+                    install(record)
+                node.records_migrated_in += len(incoming)
 
         # OLLP footprint validation (Section 2.1): re-derive the
         # transaction's footprint from the *locked* read-set values; a
@@ -816,7 +945,7 @@ class LocalTxnRuntime:
     __slots__ = (
         "cluster", "plan", "txn", "seq", "t_sequenced", "t_dispatched",
         "on_finished", "committed", "aborted", "will_abort",
-        "coordinator", "_keys",
+        "coordinator", "_keys", "_replica",
         "t_locks", "t_serve_done", "t_data", "t_commit",
         "_coord_serve_cpu", "_coord_apply_cpu", "_coord_logic_cpu",
         "_ungranted", "_granted_at", "_serve_parked", "_master_parked",
@@ -846,8 +975,21 @@ class LocalTxnRuntime:
         master = plan.masters[0]
         self.coordinator = master
         self._keys = plan.reads_from[master]
-        self._ungranted = len(txn.ordered_keys)
-        self._granted_at = 0.0
+        # Replica-served keys (all master-local here, by eligibility)
+        # take no locks; a fully replica-served read-only transaction
+        # starts with zero ungranted locks and serves at dispatch.
+        replica = (
+            plan.replica_reads.get(master)
+            if plan.replica_reads is not None
+            else None
+        )
+        self._replica = replica or None
+        self._ungranted = len(txn.ordered_keys) - (
+            len(replica) if replica else 0
+        )
+        # Overwritten by the last grant when any lock exists; the
+        # lock-free case reports zero lock wait from dispatch time.
+        self._granted_at = t_dispatched
         self._serve_parked = False
         self._master_parked = False
         self._master_waiting = False
@@ -866,6 +1008,15 @@ class LocalTxnRuntime:
         """(key, mode) pairs in deterministic (repr-sorted) order."""
         ws = self.txn.write_set
         ordered = self.txn.ordered_keys
+        replica = self._replica
+        if replica:
+            if ws:
+                return [
+                    (k, _X if k in ws else _S)
+                    for k in ordered
+                    if k not in replica
+                ]
+            return [(k, _S) for k in ordered if k not in replica]
         if ws:
             return [(k, _X if k in ws else _S) for k in ordered]
         return [(k, _S) for k in ordered]
@@ -926,9 +1077,20 @@ class LocalTxnRuntime:
             tracer.serve(self.txn.txn_id, master, t_serve_start, len(keys))
         self.t_serve_done = kernel.now
         self._coord_serve_cpu += cpu
-        read = cluster.nodes[master].store.read
-        for key in keys:
-            read(key)
+        node = cluster.nodes[master]
+        replica = self._replica
+        if replica:
+            read = node.store.read
+            replica_read = node.replicas.read
+            for key in keys:
+                if key in replica:
+                    replica_read(key)
+                else:
+                    read(key)
+        else:
+            read = node.store.read
+            for key in keys:
+                read(key)
         # Data-ready: the master's own serve is its only input.  The
         # master part always parks first (its entry hop runs before the
         # serve burst timer can fire), but mirror the triggered-event
@@ -939,10 +1101,21 @@ class LocalTxnRuntime:
             self._data_arrived = True
         # Release read-stage keys, in the same repr-sorted order the
         # generic runtime uses (``ordered_keys`` is already sorted).
+        # Replica-served keys were never locked, so there is nothing to
+        # release for them.
         ws = self.txn.write_set
         release = cluster.lock_manager.release
         seq = self.seq
-        if ws:
+        if replica:
+            if ws:
+                for key in self.txn.ordered_keys:
+                    if key not in ws and key not in replica:
+                        release(seq, key)
+            else:
+                for key in self.txn.ordered_keys:
+                    if key not in replica:
+                        release(seq, key)
+        elif ws:
             for key in self.txn.ordered_keys:
                 if key not in ws:
                     release(seq, key)

@@ -74,6 +74,9 @@ class ClusterMetrics:
         self._user_txns = reg.counter("user_txns_dispatched_total")
         self._distributed_txns = reg.counter("distributed_txns_total")
         self._ollp_exhausted = reg.counter("ollp_exhausted_total")
+        self._replica_reads = reg.counter("replica_reads_total")
+        self._cloned_reads = reg.counter("cloned_reads_total")
+        self._replica_installs = reg.counter("replica_installs_total")
         self._latency_hist: Histogram = reg.histogram("txn_latency_us")
 
     # -- scalar facades over the registry ------------------------------
@@ -87,6 +90,9 @@ class ClusterMetrics:
     user_txns = _counter_facade("_user_txns")
     distributed_txns = _counter_facade("_distributed_txns")
     ollp_exhausted = _counter_facade("_ollp_exhausted")
+    replica_reads = _counter_facade("_replica_reads")
+    cloned_reads = _counter_facade("_cloned_reads")
+    replica_installs = _counter_facade("_replica_installs")
 
     @property
     def total_latency_sum(self) -> float:
@@ -107,6 +113,16 @@ class ClusterMetrics:
         background movement (writebacks, evictions) does not count.
         """
         self._user_txns.inc()
+        replica = plan.replica_reads
+        if replica is not None:
+            self._replica_reads.inc(
+                sum(len(keys) for keys in replica.values())
+            )
+        cloned = plan.cloned_reads
+        if cloned is not None:
+            self._cloned_reads.inc(
+                sum(len(keys) for keys in cloned.values())
+            )
         masters = plan.masters
         if len(masters) == 1:
             # Single-master short-circuit: local iff reads and writes

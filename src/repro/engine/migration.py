@@ -96,11 +96,13 @@ class MigrationSession:
         plan: ColdMigrationPlan,
         cluster: Cluster,
         on_complete: Callable[[], None] | None = None,
+        on_chunk: "Callable[[ChunkMigration, TxnRuntime], None] | None" = None,
     ) -> None:
         self.generation = generation
         self.plan = plan
         self.state = MigrationState.PLANNING
         self.on_complete = on_complete
+        self.on_chunk = on_chunk
         self._cluster = cluster
         self.started_at_us = cluster.kernel.now
         self.ended_at_us: float | None = None
@@ -229,14 +231,20 @@ class MigrationController:
         self,
         plan: ColdMigrationPlan,
         on_complete: Callable[[], None] | None = None,
+        on_chunk: "Callable[[ChunkMigration, TxnRuntime], None] | None" = None,
     ) -> MigrationSession:
         """Begin executing ``plan``; ``on_complete`` fires after the last
-        chunk commits.  Returns the freshly minted session."""
+        chunk commits.  Returns the freshly minted session.
+
+        ``on_chunk`` fires once per current-generation chunk commit,
+        with the chunk and its runtime, *before* pacing continues —
+        the replication coordinator uses it to mark replica holders
+        valid at the install's commit point (never earlier)."""
         if self.active:
             raise RuntimeError("a migration is already in progress")
         self._generation += 1
         session = MigrationSession(
-            self._generation, plan, self.cluster, on_complete
+            self._generation, plan, self.cluster, on_complete, on_chunk
         )
         self.sessions.append(session)
         tracer = self.cluster.tracer
@@ -407,11 +415,18 @@ class MigrationController:
                 )
             return
         session.chunks_committed += 1
+        # Copy chunks (replica installs) carry no migrations; they ship
+        # the same records over the wire, counted from the install set.
         moved = len(runtime.plan.migrations)
+        if not moved and runtime.plan.replica_installs is not None:
+            moved = len(runtime.plan.replica_installs)
         session.records_moved += moved
         if moved:
             record_bytes = runtime.txn.profile.record_bytes
             session.bytes_on_wire += CONTROL_BYTES + record_bytes * moved
+        if session.on_chunk is not None:
+            chunk = txn.payload
+            session.on_chunk(chunk, runtime)
         if tracer is not None:
             tracer.migration(
                 "chunk_commit", txn=txn.txn_id,

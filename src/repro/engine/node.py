@@ -19,7 +19,7 @@ from repro.common.errors import SimulationError
 from repro.common.types import NodeId
 from repro.sim.kernel import Kernel
 from repro.sim.stats import WindowedRate
-from repro.storage.store import make_store
+from repro.storage.store import ReplicaStore, make_store
 from repro.storage.wal import UndoLog
 
 
@@ -129,6 +129,9 @@ class Node:
         self.node_id = node_id
         self.config = config
         self.store = make_store(config.store_backend, node_id)
+        # Read-replica side-store: populated only by sequenced install
+        # transactions, never hashed into state fingerprints.
+        self.replicas = ReplicaStore(node_id)
         self.undo_log = UndoLog()
         self.workers = WorkerPool(
             kernel,
@@ -139,6 +142,7 @@ class Node:
         self.commits = 0
         self.records_migrated_in = 0
         self.records_migrated_out = 0
+        self.records_replicated_in = 0
 
     def load_snapshot(self) -> dict[str, float]:
         """Point-in-time load numbers, sampled per batch when tracing."""

@@ -40,6 +40,7 @@ from repro.faults.plan import (
     JitterFault,
     LinkLossFault,
     PartitionFault,
+    ReplicaOutageFault,
     StragglerFault,
 )
 
@@ -55,6 +56,7 @@ __all__ = [
     "JitterFault",
     "LinkLossFault",
     "PartitionFault",
+    "ReplicaOutageFault",
     "StragglerFault",
     "make_cluster_builder",
     "make_schedule",

@@ -28,6 +28,7 @@ from repro.faults.plan import (
     JitterFault,
     LinkLossFault,
     PartitionFault,
+    ReplicaOutageFault,
     ScheduledFault,
     StragglerFault,
 )
@@ -120,6 +121,10 @@ class FaultInjector:
             sink = getattr(self.cluster.router, "forecast_fault_sink", None)
             if sink is not None:
                 sink.activate(event)
+        elif isinstance(event, ReplicaOutageFault):
+            sink = getattr(self.cluster.router, "replica_fault_sink", None)
+            if sink is not None:
+                sink.activate(event)
 
     def _deactivate(self, event: ScheduledFault) -> None:
         self.deactivations += 1
@@ -137,5 +142,9 @@ class FaultInjector:
             self.cluster.nodes[event.node].workers.set_slowdown(1.0)
         elif isinstance(event, ForecastFault):
             sink = getattr(self.cluster.router, "forecast_fault_sink", None)
+            if sink is not None:
+                sink.deactivate(event)
+        elif isinstance(event, ReplicaOutageFault):
+            sink = getattr(self.cluster.router, "replica_fault_sink", None)
             if sink is not None:
                 sink.deactivate(event)

@@ -161,6 +161,27 @@ class ForecastFault:
             raise FaultInjectionError("severity must be in (0, 1]")
 
 
+@dataclass(frozen=True, slots=True)
+class ReplicaOutageFault:
+    """Mark one node's replica side-store unusable while active.
+
+    Interpreted by the replication router's ``replica_fault_sink``: the
+    replica directory excludes the node from every valid-holder set, so
+    reads that would have been replica-served there fall back to the
+    primary (or another valid holder) — deterministically, since the
+    outage toggles on sequenced epoch boundaries observed at routing.
+    Clusters without a replication router ignore the window (traced,
+    but a no-op).  Primary data on the node is unaffected.
+    """
+
+    start_us: float
+    duration_us: float
+    node: NodeId
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_us, self.duration_us)
+
+
 def _check_window(start_us: float, duration_us: float) -> None:
     if start_us < 0:
         raise FaultInjectionError("fault start must be >= 0")
@@ -170,7 +191,7 @@ def _check_window(start_us: float, duration_us: float) -> None:
 
 ScheduledFault = (
     PartitionFault | LinkLossFault | JitterFault | StragglerFault
-    | ForecastFault
+    | ForecastFault | ReplicaOutageFault
 )
 FaultEvent = CrashFault | ScheduledFault
 
@@ -296,6 +317,6 @@ def _nodes_of(event: FaultEvent) -> list[NodeId]:
         return [n for g in event.groups for n in g]
     if isinstance(event, (LinkLossFault, JitterFault)):
         return [n for n in (event.src, event.dst) if n is not None]
-    if isinstance(event, StragglerFault):
+    if isinstance(event, (StragglerFault, ReplicaOutageFault)):
         return [event.node]
     return []

@@ -266,6 +266,10 @@ class Tracer:
     def migration(self, phase: str, **args: Any) -> None:
         self.instant("mig", phase, **args)
 
+    def replication(self, phase: str, **args: Any) -> None:
+        """Replica provision / install / invalidation lifecycle events."""
+        self.instant("repl", phase, **args)
+
     def migration_session(
         self, session: int, state: str, start_us: float, **stats: Any
     ) -> None:

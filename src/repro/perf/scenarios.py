@@ -453,6 +453,122 @@ def scale_sim(scale: float) -> int:
     return cluster.metrics.commits
 
 
+def scale_sim_20m(scale: float) -> int:
+    """Full-scale smoke: 20M keys / 100 nodes / array store.
+
+    The ROADMAP item 2 target shape, far too heavy for per-PR CI — the
+    weekly workflow runs it on a schedule and archives the RSS extras.
+    Like :func:`scale_sim`, the keyspace and cluster width are fixed
+    and ``scale`` only scales the simulated duration.  Work unit: one
+    committed transaction.
+    """
+    from repro.bench.harness import peak_rss_mb
+    from repro.bench.presets import SCALE_PROFILES, bench_cluster_config
+
+    profile = SCALE_PROFILES["20m"]
+    tenants_per_node = 4
+    wl_config = MultiTenantConfig(
+        num_nodes=profile.num_nodes,
+        tenants_per_node=tenants_per_node,
+        records_per_tenant=profile.num_keys
+        // (profile.num_nodes * tenants_per_node),
+        rotation_interval_us=500_000.0 * profile.num_nodes,
+    )
+    cluster = Cluster(
+        bench_cluster_config(
+            profile.num_nodes, store_backend=profile.store_backend
+        ),
+        PrescientRouter(),
+        perfect_partitioner(wl_config),
+        overlay=FusionTable(FusionConfig(capacity=2_000)),
+    )
+    cluster.load_data(range(wl_config.num_keys))
+    workload = MultiTenantWorkload(
+        wl_config, DeterministicRNG(12, "perf-scale20m")
+    )
+    duration_us = max(50_000.0, 200_000.0 * scale)
+    driver = ClosedLoopDriver(
+        cluster, workload, num_clients=profile.clients, stop_us=duration_us
+    )
+    driver.start()
+    cluster.run_until(duration_us)
+    usage = cluster.store_usage()
+    SCENARIO_EXTRAS["scale_sim_20m"] = {
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "store_memory_mb": round(usage["store_memory_bytes"] / 2**20, 1),
+        "records": int(usage["records"]),
+        "num_nodes": profile.num_nodes,
+    }
+    return cluster.metrics.commits
+
+
+def replica_reads(scale: float) -> int:
+    """Replication-router planning throughput on a read-heavy mix.
+
+    The full per-batch replica pipeline without a cluster: write
+    invalidations, validity lookups, and the rewrite pass that moves
+    remote reads onto replica holders — plus fresh installs each epoch
+    so the directory churns the way a live provisioner drives it.
+    Provisioning itself is left unhooked (it is session machinery, not
+    planning).  Work unit: one routed transaction.
+    """
+    from repro.forecast.forecasters import OracleForecaster
+    from repro.replication import ReplicationConfig, ReplicationRouter
+
+    num_nodes = 8
+    num_keys = 20_000
+    range_records = 64
+    num_batches = max(1, int(40 * scale))
+    batch_size = 200
+    keys_per_txn = 8
+
+    rng = DeterministicRNG(11, "perf-replica")
+    batches = []
+    txn_id = 0
+    for epoch in range(1, num_batches + 1):
+        txns = []
+        for index in range(batch_size):
+            txn_id += 1
+            keys = set()
+            while len(keys) < keys_per_txn:
+                if rng.random() < 0.5:
+                    keys.add(rng.randint(0, num_keys // 20 - 1))
+                else:
+                    keys.add(rng.randint(0, num_keys - 1))
+            ordered = sorted(keys)
+            # 1-in-8 transactions write (and so invalidate) one key.
+            writes = ordered[:1] if index % 8 == 0 else []
+            txns.append(Transaction.read_write(txn_id, ordered, writes))
+        batches.append(Batch(epoch=epoch, txns=txns))
+
+    router = ReplicationRouter(
+        OracleForecaster(),
+        ReplicationConfig(
+            key_lo=0, key_hi=num_keys, range_records=range_records
+        ),
+    )
+    view = ClusterView(
+        range(num_nodes),
+        OwnershipView(make_uniform_ranges(num_keys, num_nodes)),
+    )
+    directory = router.directory
+    hot_ranges = (num_keys // 20) // range_records
+    total = 0
+    for batch in batches:
+        # A provision cycle's worth of installs: the hot 5% of the
+        # keyspace lands on two rotating holders per range.
+        for rid in range(hot_ranges + 1):
+            directory.install(rid, (rid + batch.epoch) % num_nodes,
+                              batch.epoch)
+            directory.install(rid, (rid + batch.epoch + 3) % num_nodes,
+                              batch.epoch)
+        plan = router.route_batch(batch, view)
+        total += len(plan.plans)
+    if router.replica_keys == 0:
+        raise RuntimeError("replica_reads bench rewrote nothing")
+    return total
+
+
 #: name → scenario, in report order.
 SCENARIOS: dict[str, Callable[[float], int]] = {
     "calibration": calibration,
@@ -463,8 +579,10 @@ SCENARIOS: dict[str, Callable[[float], int]] = {
     "digest_overhead": digest_overhead,
     "network_send": network_send,
     "routing": routing,
+    "replica_reads": replica_reads,
     "end_to_end": end_to_end,
     "scale_sim": scale_sim,
+    "scale_sim_20m": scale_sim_20m,
 }
 
 

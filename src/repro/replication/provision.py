@@ -1,0 +1,142 @@
+"""Replica provisioning: choosing which ranges to replicate where.
+
+The provisioner looks at the same forecast window the router plans
+against and asks one question per predicted transaction: *which remote
+reads would a replica have absorbed?*  For every multi-owner predicted
+transaction it charges demand to ``(range, best_master)`` pairs — the
+node that would master the transaction (its majority owner) wants local
+replicas of the read-only keys it would otherwise fetch remotely.
+Writes never charge demand: written keys migrate (data fusion), they do
+not replicate, and a replica of a write-hot range would be invalidated
+every epoch anyway.
+
+The top-ranked pairs become full-range copy chunks
+(:class:`~repro.core.provisioning.ChunkMigration` with ``copy=True``)
+that the :class:`~repro.replication.coordinator.ReplicationCoordinator`
+runs through the ordinary migration session machinery — generation
+tagged, pausable, chaos-safe.  Ranking and every tie-break are pure
+sorts, so the provisioning schedule is a deterministic function of the
+forecast stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.types import Batch, NodeId
+from repro.core.provisioning import ChunkMigration
+from repro.core.router import ClusterView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.replication.directory import ReplicaDirectory
+
+__all__ = ["ReplicaProvisioner"]
+
+
+class ReplicaProvisioner:
+    """Turns forecast demand into ranked replica-install chunks."""
+
+    __slots__ = (
+        "range_records",
+        "max_ranges_per_cycle",
+        "key_lo",
+        "key_hi",
+        "cycles",
+        "chunks_planned",
+    )
+
+    def __init__(
+        self,
+        range_records: int,
+        max_ranges_per_cycle: int,
+        key_lo: int,
+        key_hi: int,
+    ) -> None:
+        self.range_records = range_records
+        self.max_ranges_per_cycle = max_ranges_per_cycle
+        self.key_lo = key_lo
+        self.key_hi = key_hi
+        self.cycles = 0
+        self.chunks_planned = 0
+
+    def plan(
+        self,
+        predicted: Batch,
+        view: ClusterView,
+        directory: "ReplicaDirectory",
+    ) -> list[ChunkMigration]:
+        """Rank replica demand in ``predicted`` into install chunks.
+
+        Returns at most ``max_ranges_per_cycle`` chunks, highest demand
+        first; pairs whose target already validly holds the range, and
+        ranges the target fully owns, are skipped.
+        """
+        self.cycles += 1
+        range_records = self.range_records
+        ownership = view.ownership
+        # Ranges the forecast expects writes into replicate badly: every
+        # write invalidates the whole range, so a copy would be stale
+        # before anything read it.  Exclude them from demand outright.
+        write_hot: set[int] = set()
+        for txn in predicted:
+            for key in txn.ordered_keys:
+                if key in txn.write_set and type(key) is int:
+                    write_hot.add(key // range_records)
+        demand: dict[tuple[int, NodeId], int] = {}
+        for txn in predicted:
+            if txn.is_system():
+                continue
+            keys = [k for k in txn.ordered_keys if type(k) is int]
+            if len(keys) < 2:
+                continue
+            owners = ownership.owners_bulk(keys)
+            counts: dict[NodeId, int] = {}
+            for owner in owners:
+                counts[owner] = counts.get(owner, 0) + 1
+            if len(counts) < 2:
+                continue  # single-owner footprint: already local
+            # The node this transaction would master under single-master
+            # routing: most keys, smallest id on ties (mirrors
+            # majority_owner's determinism without per-txn tie noise).
+            best = min(counts, key=lambda n: (-counts[n], n))
+            write_set = txn.write_set
+            for key, owner in zip(keys, owners):
+                if owner == best or key in write_set:
+                    continue
+                range_id = key // range_records
+                if range_id in write_hot:
+                    continue
+                demand[(range_id, best)] = (
+                    demand.get((range_id, best), 0) + 1
+                )
+
+        if not demand:
+            return []
+        ranked = sorted(
+            demand.items(), key=lambda item: (-item[1], item[0])
+        )
+        active = view.active_nodes
+        chunks: list[ChunkMigration] = []
+        for (range_id, dst), _count in ranked:
+            if len(chunks) >= self.max_ranges_per_cycle:
+                break
+            if directory.is_valid_holder(range_id, dst, active):
+                continue
+            lo = max(range_id * range_records, self.key_lo)
+            hi = min((range_id + 1) * range_records, self.key_hi)
+            if lo >= hi:
+                continue
+            span = tuple(range(lo, hi))
+            owners = ownership.owners_bulk(span)
+            src: NodeId | None = None
+            for owner in owners:
+                if owner != dst:
+                    src = owner
+                    break
+            if src is None:
+                continue  # dst owns the whole range: nothing to copy for
+            chunks.append(
+                ChunkMigration(src=src, dst=dst, keys=span, copy=True)
+            )
+        self.chunks_planned += len(chunks)
+        return chunks

@@ -533,6 +533,64 @@ class ArrayRecordStore(StoreBackend):
         return len(self._spill)
 
 
+class ReplicaStore:
+    """A node's replica *side-store* (adaptive read replication).
+
+    Holds read-only copies of records whose primary lives elsewhere.
+    Deliberately not a :class:`StoreBackend`: replicas never see writes,
+    undo, checkpoints, or migration eviction — only sequenced installs,
+    lock-free reads, and invalidation drops.  Keeping the type separate
+    means :func:`state_fingerprint` (which walks primary stores) cannot
+    accidentally hash replica copies, so enabling replication leaves
+    every state digest untouched.
+
+    Reading a key that is not present is a router bug (a replica read
+    was planned at a node the directory never marked valid, or after an
+    invalidation) and raises :class:`StorageError`.
+    """
+
+    __slots__ = ("node_id", "records", "records_peak", "installs_total")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.records: dict[Key, Record] = {}
+        self.records_peak = 0
+        self.installs_total = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.records
+
+    def read(self, key: Key) -> Record:
+        record = self.records.get(key)
+        if record is None:
+            raise StorageError(
+                f"node {self.node_id} has no replica of key {key!r}"
+            )
+        return record
+
+    def install(self, record: Record) -> None:
+        """Insert or refresh a replica copy (sequenced install txns only)."""
+        self.records[record.key] = record
+        self.installs_total += 1
+        if len(self.records) > self.records_peak:
+            self.records_peak = len(self.records)
+
+    def drop(self, keys: Iterable[Key]) -> int:
+        """Discard stale copies after an invalidation; returns drops."""
+        records = self.records
+        dropped = 0
+        for key in keys:
+            if records.pop(key, None) is not None:
+                dropped += 1
+        return dropped
+
+    def memory_bytes(self) -> int:
+        return len(self.records) * RECORD_OBJECT_BYTES
+
+
 #: Backend registry keyed by ``ClusterConfig.store_backend``.
 STORE_BACKENDS: dict[str, type[StoreBackend]] = {
     "dict": RecordStore,

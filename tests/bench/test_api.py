@@ -93,7 +93,8 @@ class TestPresets:
             assert spec.strategies, name
             assert spec.kind in ("google", "tpcc", "tpcc_sweep",
                                  "multitenant", "scaleout",
-                                 "forecast_robustness"), name
+                                 "forecast_robustness",
+                                 "replication"), name
 
     def test_scale_preset_rides_the_scale_axis(self):
         spec = preset_spec("fig12_scale")

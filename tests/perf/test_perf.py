@@ -6,6 +6,8 @@ import pytest
 
 from repro.perf import scenarios
 from repro.perf.__main__ import (
+    GATED,
+    HEAVY,
     compare,
     main,
     normalized,
@@ -43,16 +45,27 @@ class TestMeasure:
 class TestScenarios:
     """Every scenario must run at tiny scale and report its work units."""
 
-    @pytest.mark.parametrize("name", list(scenarios.SCENARIOS))
+    @pytest.mark.parametrize(
+        "name", [n for n in scenarios.SCENARIOS if n not in HEAVY]
+    )
     def test_runs_at_tiny_scale(self, name):
         assert scenarios.run_scenario(name, scale=0.01) > 0
 
     def test_scenarios_are_deterministic(self):
         # Same scale -> same unit count (the denominator of events/s).
-        for name in ("kernel_dispatch", "kernel_e2e", "routing"):
+        for name in ("kernel_dispatch", "kernel_e2e", "routing",
+                     "replica_reads"):
             a = scenarios.run_scenario(name, scale=0.01)
             b = scenarios.run_scenario(name, scale=0.01)
             assert a == b, name
+
+    def test_heavy_scenarios_registered_but_not_gated(self):
+        # scale_sim_20m loads 20M keys — only the weekly workflow runs
+        # it; it must never enter the default suite or the perf gate.
+        for name in HEAVY:
+            assert name in scenarios.SCENARIOS
+            assert name not in GATED
+        assert "replica_reads" in GATED
 
 
 def entry(**rates):
