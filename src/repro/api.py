@@ -162,6 +162,14 @@ VALID_PARAMS: dict[str, frozenset[str]] = {
         {"num_nodes", "num_keys", "rate_scale", "ycsb_overrides",
          "schism_periods", "forecaster", "replication"}
     ),
+    "serving": frozenset(
+        {"num_nodes", "num_keys", "initial_nodes", "epoch_us",
+         "rate_per_s", "rw_ratio", "resizes", "verify"}
+    ),
+    "straggler_clone": frozenset(
+        {"num_keys", "hot_records", "rate_per_s", "slowdown",
+         "replication"}
+    ),
 }
 
 #: Kinds whose runner understands the ``scale`` axis.
@@ -415,6 +423,67 @@ def _run_replication(spec: ExperimentSpec) -> list[ExperimentResult]:
     return parallel_map(_figures._replication_task, tasks, jobs=spec.jobs)
 
 
+def _run_straggler_clone(spec: ExperimentSpec) -> list[ExperimentResult]:
+    """Straggler × request-cloning tail comparison.
+
+    Runs each strategy (typically ``hermes-replica`` vs
+    ``hermes-clone``) on the hot-range scenario: replicas provisioned
+    during a warm phase, then a straggler on one holder while a
+    replica-less reader node drives all the load.  Extras carry the
+    drained state fingerprint so callers can assert cloning changed the
+    tail, never the state.
+    """
+    p = dict(spec.params)
+    num_keys = _param(p, "num_keys", 4_000)
+    hot_records = _param(p, "hot_records", 50)
+    rate_per_s = _param(p, "rate_per_s", 2_000.0)
+    slowdown = _param(p, "slowdown", 8.0)
+    replication_params = dict(_param(p, "replication", {}))
+    _reject_unknown("straggler_clone", p)
+    duration_us = _duration_us(spec, 2.5)
+    opts = _opts(spec)
+    tasks = [
+        (name, num_keys, hot_records, rate_per_s, duration_us, slowdown,
+         replication_params, spec.seed, spec.keep_cluster, opts)
+        for name in spec.strategies
+    ]
+    return parallel_map(
+        _figures._straggler_clone_task, tasks, jobs=spec.jobs
+    )
+
+
+def _run_serving(spec: ExperimentSpec) -> list[ExperimentResult]:
+    """Journaled online-serving runs (simulated time, replay-verified).
+
+    Unlike the bench kinds this drives the :mod:`repro.serve` tick loop:
+    arrivals are synthesized per epoch, journaled write-ahead, and (by
+    default) the journal is replayed and checked byte-for-byte against
+    the live run before the result is returned.
+    """
+    from repro.serve.experiment import _serving_task
+
+    if spec.trace is not None or spec.keep_cluster:
+        raise ValueError(
+            "kind 'serving' does not support trace= or keep_cluster="
+        )
+    p = dict(spec.params)
+    kwargs = {
+        "num_nodes": _param(p, "num_nodes", 4),
+        "num_keys": _param(p, "num_keys", 10_000),
+        "initial_nodes": p.pop("initial_nodes", None),
+        "epoch_us": _param(p, "epoch_us", 5_000.0),
+        "rate_per_s": _param(p, "rate_per_s", 2_000.0),
+        "rw_ratio": _param(p, "rw_ratio", 0.2),
+        "resizes": tuple(_param(p, "resizes", ())),
+        "verify": _param(p, "verify", True),
+        "seed": spec.seed,
+    }
+    _reject_unknown("serving", p)
+    kwargs["duration_us"] = _duration_us(spec, 1.0)
+    tasks = [(name, kwargs) for name in spec.strategies]
+    return parallel_map(_serving_task, tasks, jobs=spec.jobs)
+
+
 _RUNNERS: dict[str, Callable[[ExperimentSpec], object]] = {
     "google": _run_google,
     "tpcc": _run_tpcc,
@@ -423,6 +492,8 @@ _RUNNERS: dict[str, Callable[[ExperimentSpec], object]] = {
     "scaleout": _run_scaleout,
     "forecast_robustness": _run_forecast_robustness,
     "replication": _run_replication,
+    "serving": _run_serving,
+    "straggler_clone": _run_straggler_clone,
 }
 
 
@@ -505,6 +576,25 @@ PRESETS: dict[str, Callable[[], ExperimentSpec]] = {
             "schism_periods": {"schism1": (0.05, 0.45)},
             "ycsb_overrides": {"rw_ratio": 0.2},
             "replication": {"provision_interval": 2},
+        },
+    ),
+    # Tail latency under a straggling replica holder: request cloning
+    # (first response wins) against single-holder replica reads.
+    "straggler_clone": lambda: ExperimentSpec(
+        kind="straggler_clone",
+        strategies=("hermes-replica", "hermes-clone"),
+        duration_s=2.5,
+    ),
+    # Online serving: journaled arrival ticks with an elastic add under
+    # load, replayed from the journal and verified byte-for-byte before
+    # the results are returned (see DESIGN.md §17).
+    "serving": lambda: ExperimentSpec(
+        kind="serving",
+        strategies=("calvin", "hermes"),
+        duration_s=1.0,
+        params={
+            "initial_nodes": 3,
+            "resizes": ((500_000.0, "add", 3),),
         },
     ),
 }

@@ -36,7 +36,7 @@ from repro.bench.presets import (
     bench_trace_config,
 )
 from repro.bench.specs import StrategySpec, make_strategy
-from repro.common.config import FusionConfig
+from repro.common.config import FusionConfig, RoutingConfig
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG
 from repro.core.fusion_table import FusionTable
@@ -496,11 +496,19 @@ def _replication_spec(
         provision_interval=params.get("provision_interval", 4),
         max_ranges_per_cycle=params.get("max_ranges_per_cycle", 8),
         clone=variant == "hermes-clone",
+        fanout=params.get("fanout", 1),
+        side_store_budget=params.get("side_store_budget"),
+    )
+    routing_params = params.get("routing")
+    routing = (
+        RoutingConfig(**routing_params)
+        if routing_params is not None
+        else None
     )
     router_holder: list[ReplicationRouter] = []
 
     def make_router() -> ReplicationRouter:
-        router = ReplicationRouter(forecaster, config)
+        router = ReplicationRouter(forecaster, config, routing)
         router_holder.append(router)
         return router
 
@@ -606,6 +614,126 @@ def _replication_task(task: tuple) -> ExperimentResult:
     result.extras["replica_reads"] = cluster.metrics.replica_reads
     result.extras["cloned_reads"] = cluster.metrics.cloned_reads
     result.extras["forecaster"] = forecaster_name
+    return result
+
+
+#: Cluster size the straggler × clone scenario is written for: hot
+#: range at node 0, consumer localities at 1 and 2, reader at 3.
+_STRAGGLER_CLONE_NODES = 4
+
+
+def _straggler_clone_task(task: tuple) -> ExperimentResult:
+    """One straggler × clone-mode run (pool worker).
+
+    The :class:`~repro.workloads.hotrange.HotRangeWorkload` warm phase
+    provisions replicas of node 0's hot range at the consumer nodes;
+    the measured phase reads it exclusively from node 3 while a
+    :class:`~repro.faults.plan.StragglerFault` slows holder node 1.
+    Without cloning, holder load-balancing routes about half the hot
+    reads to the straggler; with cloning every valid holder serves the
+    key and the master proceeds on the first arrival, so the tail
+    collapses.  Two routing knobs keep the comparison clean:
+
+    * prescient *count*-balancing is off — it is speed-unaware, so it
+      would shed reader transactions onto the straggler's master queue,
+      a slowness no read-side hedge can fix (the ``hermes-nobalance``
+      ablation precedent);
+    * ``provision_interval`` is long enough that the one warm-phase
+      provision cycle installs the consumer copies and the reader
+      node's own demand cannot immediately self-install a local copy
+      (which would localize every hot read and make cloning vacuous).
+
+    Both variants run with ``fanout=2`` so their install plans (and
+    txn-id streams) match — the drained state fingerprint, shipped in
+    extras, must be identical across the pair.
+    """
+    (name, num_keys, hot_records, rate_per_s, duration_us, slowdown,
+     replication_params, seed, keep_cluster, opts) = task
+    from repro.faults.plan import StragglerFault
+    from repro.workloads.hotrange import HotRangeConfig, HotRangeWorkload
+
+    warm_until_us = duration_us * 0.4
+    hotrange_config = HotRangeConfig(
+        num_keys=num_keys,
+        num_nodes=_STRAGGLER_CLONE_NODES,
+        hot_records=hot_records,
+        warm_until_us=warm_until_us,
+    )
+    params = dict(replication_params or {})
+    # The hot range must be exactly one replica range, and both modes
+    # must provision identically for the fingerprint-parity check.
+    params.setdefault("range_records", hot_records)
+    params.setdefault("fanout", 2)
+    cluster_config = bench_cluster_config(_STRAGGLER_CLONE_NODES)
+    warm_epochs = warm_until_us / cluster_config.engine.epoch_us
+    params.setdefault(
+        "provision_interval", max(1, int(warm_epochs * 0.8))
+    )
+    params.setdefault("routing", {"balance": False})
+    spec = _replication_spec(
+        name,
+        num_nodes=_STRAGGLER_CLONE_NODES,
+        num_keys=num_keys,
+        forecaster_name="oracle",
+        seed=seed,
+        replication_params=params,
+    )
+
+    cluster_holder: list[Cluster] = []
+    straggler_node = hotrange_config.consumer_nodes[0]
+
+    def before_run(cluster: Cluster) -> None:
+        cluster_holder.append(cluster)
+        plan = FaultPlan(events=(
+            StragglerFault(
+                start_us=warm_until_us,
+                duration_us=duration_us - warm_until_us,
+                node=straggler_node,
+                slowdown=slowdown,
+            ),
+        ))
+        FaultInjector(
+            cluster, plan, DeterministicRNG(seed, "straggler-clone")
+        ).install()
+
+    result = run_workload(
+        spec,
+        cluster_config=cluster_config,
+        partitioner_factory=lambda: make_uniform_ranges(
+            num_keys, _STRAGGLER_CLONE_NODES
+        ),
+        workload_factory=lambda rng: HotRangeWorkload(
+            hotrange_config, rng
+        ),
+        keys=range(num_keys),
+        seed=seed,
+        duration_us=duration_us,
+        # Percentiles must cover only the measured phase: the straggler
+        # window, where the reader node owns all the traffic.
+        warmup_us=warm_until_us,
+        drain=True,
+        mode="open",
+        rate_per_s=rate_per_s,
+        stats_window_us=opts.get("window_us") or duration_us / 16,
+        before_run=before_run,
+        keep_cluster=keep_cluster,
+        trace=opts.get("trace"),
+        # Both variants must replay the *same* arrival stream or the
+        # fingerprint-parity check is vacuous.
+        rng_label="straggler-clone",
+    )
+    (cluster,) = cluster_holder
+    router = cluster.router
+    result.extras["fingerprint"] = cluster.state_fingerprint()
+    result.extras["cloned_reads"] = cluster.metrics.cloned_reads
+    result.extras["replica_reads"] = cluster.metrics.replica_reads
+    result.extras["straggler_node"] = straggler_node
+    result.extras["slowdown"] = slowdown
+    holder_count = getattr(
+        getattr(router, "directory", None), "holder_count", None
+    )
+    if holder_count is not None:
+        result.extras["hot_range_holders"] = holder_count(0)
     return result
 
 

@@ -90,6 +90,7 @@ def run_workload(
     validate_plans: bool = False,
     keep_cluster: bool = False,
     trace: Tracer | None = None,
+    rng_label: str | None = None,
 ) -> ExperimentResult:
     """Run one strategy on one workload and collect the paper's metrics.
 
@@ -109,8 +110,15 @@ def run_workload(
     off by default: a cluster pins the whole event heap and every record
     store, so a sweep that holds N results would hold N clusters — and
     parallel sweeps could not ship results between processes at all.
+
+    ``rng_label`` overrides the strategy name in the experiment RNG
+    seed.  By default every strategy draws its own workload/arrival
+    stream; paired comparisons that must replay the *identical*
+    transaction stream under two strategies (e.g. the fingerprint
+    parity check of the straggler × clone experiment) pass a shared
+    label instead.
     """
-    rng = DeterministicRNG(seed, "experiment", spec.name)
+    rng = DeterministicRNG(seed, "experiment", rng_label or spec.name)
     if trace is not None:
         trace.meta.setdefault("strategy", spec.name)
         trace.meta.setdefault("seed", seed)

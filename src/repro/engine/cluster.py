@@ -472,6 +472,20 @@ class Cluster:
         """Advance simulated time to ``t_end`` microseconds."""
         self.kernel.run_until(t_end)
 
+    def advance_epoch(self) -> float:
+        """Advance simulated time through the sequencer's next batch cut.
+
+        The epoch-slaving hook for wall-clock serving
+        (:mod:`repro.serve`): each serve tick submits its arrivals and
+        advances exactly one sequencer epoch, so simulated time is a
+        pure function of the tick count and the journaled arrival
+        stream — never of the wall clock.  Returns the new simulated
+        time.
+        """
+        deadline = self.sequencer.next_cut_at
+        self.kernel.run_until(deadline)
+        return deadline
+
     def run_until_quiescent(
         self, max_time_us: float, poll_us: float = 100_000.0
     ) -> float:

@@ -1,0 +1,145 @@
+"""Elastic resize under load: add or remove nodes on a live cluster.
+
+Wraps the Section 3.3 provisioning pieces into one driver the serving
+layer (:mod:`repro.serve`) can call between epochs: a resize issues the
+totally ordered TOPOLOGY transaction and starts the cold-chunk
+migration session in a single step, so every scheduler replica switches
+topology at the same point in the total order while the background
+chunks drain through the normal pausable session machinery.
+
+Both directions are deterministic functions of the live range map:
+
+* ``add_node`` computes the ceded spans from the current segments — by
+  default every active node hands the tail ``1/(n+1)`` of each of its
+  contiguous spans to the newcomer — and runs them through
+  :meth:`~repro.core.provisioning.HybridMigrationPlanner.plan_scale_out`.
+* ``remove_node`` delegates to
+  :meth:`~repro.core.provisioning.HybridMigrationPlanner.
+  plan_consolidation`, spreading the departing node's live segments
+  round-robin over the survivors.
+
+A resize while a previous migration session is still draining raises
+:class:`~repro.common.errors.SimulationError` — overlapping sessions
+would interleave chunk streams nondeterministically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import NodeId
+from repro.core.provisioning import HybridMigrationPlanner
+from repro.engine.migration import MigrationController
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cluster import Cluster
+
+__all__ = ["ElasticDirector"]
+
+
+class ElasticDirector:
+    """Adds and removes nodes on a live cluster, with data movement."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        num_keys: int,
+        chunk_records: int | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.num_keys = num_keys
+        self.controller = MigrationController(cluster)
+        self.planner = HybridMigrationPlanner(
+            chunk_records
+            if chunk_records is not None
+            else cluster.config.engine.migration_chunk_records
+        )
+        self.resizes = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def _spans(self) -> list[tuple[int, int, NodeId]]:
+        """The live range map as ``(lo, hi, owner)`` spans."""
+        partitioner = self.cluster.ownership.static
+        segments = partitioner.segments()
+        spans = []
+        for index, (start, owner) in enumerate(segments):
+            stop = (
+                segments[index + 1][0]
+                if index + 1 < len(segments)
+                else self.num_keys
+            )
+            if start < stop:
+                spans.append((start, min(stop, self.num_keys), owner))
+        return spans
+
+    def _check_idle(self, action: str) -> None:
+        if self.controller.active:
+            raise SimulationError(
+                f"cannot {action}: a migration session is still draining"
+            )
+
+    # ------------------------------------------------------------------
+    # Resize events
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        node: NodeId,
+        moves: list[tuple[NodeId, int, int]] | None = None,
+    ) -> int:
+        """Activate ``node`` and migrate data onto it; returns chunk count.
+
+        Without explicit ``moves`` every active node cedes the tail
+        ``1/(n+1)`` of each of its contiguous spans, so the newcomer
+        ends up with roughly an even share of the keyspace.
+        """
+        self._check_idle("add a node")
+        actives = list(self.cluster.view.active_nodes)
+        if node in actives:
+            raise ConfigurationError(f"node {node} is already active")
+        if not 0 <= node < self.cluster.config.num_nodes:
+            raise ConfigurationError(f"node {node} out of physical range")
+        if moves is None:
+            share = len(actives) + 1
+            moves = []
+            for lo, hi, owner in self._spans():
+                if owner not in actives:
+                    continue
+                give = (hi - lo) // share
+                if give > 0:
+                    moves.append((owner, hi - give, hi))
+        topology, plan = self.planner.plan_scale_out(actives, node, moves)
+        self.cluster.announce_topology(topology.active_nodes)
+        if plan.chunks:
+            self.controller.start(plan)
+        self.resizes += 1
+        return len(plan)
+
+    def remove_node(self, node: NodeId) -> int:
+        """Deactivate ``node`` and drain its data; returns chunk count."""
+        self._check_idle("remove a node")
+        actives = list(self.cluster.view.active_nodes)
+        topology, plan = self.planner.plan_consolidation(
+            actives,
+            node,
+            self.cluster.ownership.static,
+            0,
+            self.num_keys,
+        )
+        self.cluster.announce_topology(topology.active_nodes)
+        if plan.chunks:
+            self.controller.start(plan)
+        self.resizes += 1
+        return len(plan)
+
+    def apply(self, kind: str, node: NodeId) -> int:
+        """Dispatch a journaled resize record (``"add"`` / ``"remove"``)."""
+        if kind == "add":
+            return self.add_node(node)
+        if kind == "remove":
+            return self.remove_node(node)
+        raise ConfigurationError(f"unknown resize kind {kind!r}")

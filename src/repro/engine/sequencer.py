@@ -45,6 +45,9 @@ class Sequencer:
         self._in_flight: list[tuple[float, Batch]] = []
         self._epoch = 0
         self.submitted = 0
+        #: simulated time of the next batch cut — the epoch-slaving hook
+        #: wall-clock serving uses to advance exactly one epoch per tick.
+        self.next_cut_at = kernel.now + engine_config.epoch_us
         kernel.call_later(engine_config.epoch_us, self._cut_batch)
 
     def submit(self, txn: Transaction) -> None:
@@ -129,6 +132,7 @@ class Sequencer:
                 # Batch composition *and order* are the total-order input
                 # everything downstream depends on — fold the ids.
                 digest.note("seq.cut", self._epoch, batch.ids())
+        self.next_cut_at = self.kernel.now + self.config.epoch_us
         self.kernel.call_later(self.config.epoch_us, self._cut_batch)
 
     def _deliver_ordered(self, batch: Batch) -> None:

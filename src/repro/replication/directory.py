@@ -114,10 +114,10 @@ class ReplicaDirectory:
 
         Only ranges with directory entries pay anything; the commutative
         max makes the per-batch pass order-independent.  Holder entries
-        are *kept* (and their side-store copies are never dropped): an
-        in-flight replica read dispatched in an earlier epoch may still
-        be serving from the copy, and a later re-install refreshes the
-        same entry.
+        are *kept* (and their side-store copies survive until a budget
+        retirement fences them out): an in-flight replica read
+        dispatched in an earlier epoch may still be serving from the
+        copy, and a later re-install refreshes the same entry.
         """
         entry = self._ranges.get(range_id)
         if entry is None:
@@ -129,9 +129,15 @@ class ReplicaDirectory:
     def retire(self, range_id: int, node: NodeId) -> None:
         """Drop a holder from the directory (directory-only retirement).
 
-        The node's side-store keeps the stale copy — see
-        :meth:`invalidate` for why dropping data is never safe; retiring
-        merely stops the router from choosing the holder again.
+        Called at routing time when a node's side-store exceeds its
+        budget (:class:`~repro.replication.provision.ReplicaProvisioner`
+        plans the victims).  Retiring only stops the router from
+        choosing the holder again; the node's side-store keeps the copy
+        until every transaction routed *before* the retirement has
+        finished — an in-flight replica read dispatched in an earlier
+        epoch may still serve from it.  The coordinator performs that
+        fenced physical drop (see
+        :meth:`~repro.replication.coordinator.ReplicationCoordinator`).
         """
         entry = self._ranges.get(range_id)
         if entry is not None and node in entry.holders:
@@ -187,6 +193,27 @@ class ReplicaDirectory:
         self, range_id: int, node: NodeId, active_nodes: list[NodeId]
     ) -> bool:
         return node in self.valid_holders(range_id, active_nodes)
+
+    def is_holder(self, range_id: int, node: NodeId) -> bool:
+        """Whether ``node`` holds the range at all, valid or stale."""
+        entry = self._ranges.get(range_id)
+        return entry is not None and node in entry.holders
+
+    def holdings(self) -> list[tuple[int, NodeId, int, int]]:
+        """Every holder entry as ``(range_id, node, installed_epoch,
+        last_invalidate)``, sorted — the budget accountant's view.
+
+        Staleness is derivable (``installed <= last_invalidate``): stale
+        copies still occupy side-store bytes, so retirement planning
+        must see them alongside the valid ones.
+        """
+        rows = [
+            (range_id, node, installed, entry.last_invalidate)
+            for range_id, entry in self._ranges.items()
+            for node, installed in entry.holders.items()
+        ]
+        rows.sort()
+        return rows
 
     def tracked_ranges(self) -> list[int]:
         """Every range id with a directory entry, sorted."""

@@ -1,0 +1,128 @@
+"""The wall-clock serving loop: asyncio pacing over a sync ServeCore.
+
+The driver owns the only place wall time enters the system — *when* to
+run the next tick.  Everything a tick contains (admitted arrivals,
+resize events) is journaled by the core before execution, so wall
+jitter can stretch or compress the real-time spacing of ticks without
+ever changing the deterministic history.
+
+Requests arrive via :meth:`ServeDriver.submit`, which returns a future
+resolved at commit (``{"status": "committed" | "aborted"}``) or
+immediately on shed (``{"status": "shed"}``).  Admission runs at tick
+time in arrival order, ahead of the journal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Mapping
+
+from repro.engine.executor import TxnRuntime
+from repro.serve.admission import AdmissionController
+from repro.serve.core import ServeCore, ServeReport
+
+__all__ = ["ServeDriver"]
+
+
+class ServeDriver:
+    """Paces ServeCore ticks against the wall clock."""
+
+    def __init__(
+        self,
+        core: ServeCore,
+        admission: AdmissionController | None = None,
+        tick_interval_s: float | None = None,
+    ) -> None:
+        self.core = core
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.tick_interval_s = (
+            tick_interval_s
+            if tick_interval_s is not None
+            else core.config.epoch_us / 1e6
+        )
+        self._arrivals: list[tuple[Mapping, asyncio.Future]] = []
+        self._resizes: list[tuple[str, int]] = []
+        self._stopping = asyncio.Event()
+        self._finished: ServeReport | None = None
+
+    # ------------------------------------------------------------------
+    # Client-facing API (event-loop thread)
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Mapping) -> asyncio.Future:
+        """Queue one arrival; the future resolves with its outcome."""
+        future = asyncio.get_running_loop().create_future()
+        self._arrivals.append((request, future))
+        return future
+
+    def schedule_resize(self, kind: str, node: int) -> None:
+        """Queue an elastic event for the next tick (journaled with it)."""
+        self._resizes.append((kind, node))
+
+    def overloaded(self) -> bool:
+        """Backpressure signal for the front end."""
+        return self.admission.overloaded(self.core.cluster)
+
+    def stop(self) -> None:
+        self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # The tick loop
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _commit_callback(future: asyncio.Future):
+        def on_commit(runtime: TxnRuntime) -> None:
+            if not future.done():
+                future.set_result({
+                    "status": (
+                        "aborted" if runtime.will_abort else "committed"
+                    ),
+                })
+
+        return on_commit
+
+    def _tick_once(self) -> None:
+        admission = self.admission
+        cluster = self.core.cluster
+        admission.begin_tick()
+        arrivals, self._arrivals = self._arrivals, []
+        resizes, self._resizes = self._resizes, []
+        requests: list[Mapping] = []
+        callbacks = []
+        for request, future in arrivals:
+            if admission.admit(cluster):
+                requests.append(request)
+                callbacks.append(self._commit_callback(future))
+            elif not future.done():
+                future.set_result({"status": "shed"})
+        self.core.tick(requests, resizes=resizes, callbacks=callbacks)
+
+    async def run(self) -> ServeReport:
+        """Tick until :meth:`stop`, then drain and seal the journal."""
+        loop = asyncio.get_running_loop()
+        next_at = loop.time() + self.tick_interval_s
+        while not self._stopping.is_set():
+            delay = next_at - loop.time()
+            if delay > 0:
+                try:
+                    await asyncio.wait_for(
+                        self._stopping.wait(), timeout=delay
+                    )
+                    break
+                except asyncio.TimeoutError:
+                    pass
+            next_at += self.tick_interval_s
+            self._tick_once()
+        # Final tick flushes arrivals queued after the last paced tick;
+        # finish() drains in-flight work and resolves every future.
+        if self._arrivals or self._resizes:
+            self._tick_once()
+        self._finished = self.core.finish()
+        return self._finished
+
+    @property
+    def report(self) -> ServeReport | None:
+        return self._finished

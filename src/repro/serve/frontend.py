@@ -1,0 +1,117 @@
+"""JSON-lines TCP front end for the serving driver.
+
+Protocol: one JSON object per line in each direction.  Requests carry a
+client-chosen ``tag`` plus ``reads`` / ``writes`` key lists::
+
+    -> {"tag": 17, "reads": [4, 981], "writes": []}
+    <- {"tag": 17, "status": "committed"}
+
+Statuses: ``committed``, ``aborted``, ``shed`` (admission rejected it),
+``error`` (malformed request).  Responses may interleave across tags —
+the server replies at commit time, not in request order.
+
+Backpressure: while the admission controller reports overload, the
+connection handler stops reading from the socket (TCP flow control does
+the rest) instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.driver import ServeDriver
+
+__all__ = ["Frontend"]
+
+
+class Frontend:
+    """asyncio TCP server feeding a :class:`ServeDriver`."""
+
+    def __init__(
+        self,
+        driver: ServeDriver,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.driver = driver
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.connections = 0
+        self.requests = 0
+        self.errors = 0
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.connections += 1
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(payload: dict) -> None:
+            async with write_lock:
+                writer.write(
+                    (json.dumps(payload, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+
+        async def complete(tag, future: asyncio.Future) -> None:
+            result = await future
+            await respond({"tag": tag, **result})
+
+        try:
+            while True:
+                # Backpressure: overloaded -> stop reading this socket.
+                while self.driver.overloaded():
+                    await asyncio.sleep(self.driver.tick_interval_s)
+                line = await reader.readline()
+                if not line:
+                    break
+                self.requests += 1
+                try:
+                    message = json.loads(line)
+                    request = {
+                        "reads": list(message.get("reads", ())),
+                        "writes": list(message.get("writes", ())),
+                    }
+                    if not request["reads"] and not request["writes"]:
+                        raise ValueError("empty request")
+                except (ValueError, TypeError, AttributeError) as exc:
+                    self.errors += 1
+                    await respond({"status": "error", "error": str(exc)})
+                    continue
+                tag = message.get("tag")
+                future = self.driver.submit(request)
+                task = asyncio.ensure_future(complete(tag, future))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if pending:
+                await asyncio.gather(
+                    *pending, return_exceptions=True  # sanitize: ok(results unused; awaits completion only)
+                )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -94,7 +94,8 @@ class TestPresets:
             assert spec.kind in ("google", "tpcc", "tpcc_sweep",
                                  "multitenant", "scaleout",
                                  "forecast_robustness",
-                                 "replication"), name
+                                 "replication", "serving",
+                                 "straggler_clone"), name
 
     def test_scale_preset_rides_the_scale_axis(self):
         spec = preset_spec("fig12_scale")

@@ -182,6 +182,26 @@ class TestRewrite:
         plan = rewrite(router, view, txn)
         assert plan.cloned_reads is None
 
+    def test_clone_mode_hedges_localized_reads(self):
+        # The master itself holds a valid copy: the read localizes, but
+        # the other holders still clone-serve it — data-ready fires on
+        # first coverage, so a remote clone hedges against the master's
+        # own backed-up store queue (the single-consumer regime, where
+        # the only replica reads are the consumer's localized ones).
+        router = make_router(clone=True)
+        view = make_view()
+        router.directory.install(5, 0, epoch=1)
+        router.directory.install(5, 1, epoch=1)
+        router.directory.install(5, 3, epoch=1)
+        txn = Transaction.read_only(10, [10, 250])
+        plan = rewrite(router, view, txn)
+        assert plan.replica_reads == {0: frozenset({250})}
+        assert plan.cloned_reads == {
+            1: frozenset({250}), 3: frozenset({250})
+        }
+        assert router.cloned_keys == 2
+        plan.validate()
+
 
 class TestRouteBatch:
     def test_same_batch_write_invalidates_before_routing(self):

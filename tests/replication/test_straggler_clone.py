@@ -1,0 +1,105 @@
+"""Acceptance test for the straggler × request-cloning experiment.
+
+One ``straggler_clone`` run pitting single-holder replica routing
+(``hermes-replica``) against request cloning (``hermes-clone``) on the
+hot-range scenario: the warm phase provisions two holders of node 0's
+hot range, then a :class:`~repro.faults.plan.StragglerFault` slows one
+of them while a replica-less reader node drives all the load.  The
+claims under test are the PR's acceptance criteria:
+
+* cloning collapses the tail — the cloned p99 beats the uncloned p99
+  (without cloning, holder load-balancing pins about half the hot
+  reads to the straggler for a full slow serve);
+* cloning is a *latency* hedge, never a semantic change — both runs
+  drain to the identical state fingerprint over the identical arrival
+  stream, and route the identical number of replica reads.
+
+Both fail on the pre-PR code: the experiment kind did not exist, and
+single-consumer demand provisioned only one holder, leaving request
+cloning with nobody to clone to.
+
+Deliberately heavier than a unit test (~2.5 simulated seconds across
+two clusters); everything is asserted off one shared module fixture.
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec, PRESETS, run_experiment
+
+
+def make_spec(**overrides):
+    base = dict(
+        kind="straggler_clone",
+        strategies=("hermes-replica", "hermes-clone"),
+        seed=7,
+        duration_s=2.5,
+        jobs=1,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    uncloned, cloned = run_experiment(make_spec())
+    return uncloned, cloned
+
+
+class TestStragglerClone:
+    def test_result_shape(self, comparison):
+        uncloned, cloned = comparison
+        assert uncloned.strategy == "hermes-replica"
+        assert cloned.strategy == "hermes-clone"
+        for result in comparison:
+            assert result.commits > 0
+            assert result.latency_p99_us > 0
+            assert result.extras["slowdown"] > 1.0
+            assert result.extras["straggler_node"] == 1
+
+    def test_replicas_actually_serve(self, comparison):
+        uncloned, cloned = comparison
+        assert uncloned.extras["replica_reads"] > 0
+        assert cloned.extras["replica_reads"] > 0
+        # The warm phase must have provisioned at least the two
+        # consumer holders (the reader may self-install later).
+        assert uncloned.extras["hot_range_holders"] >= 2
+        assert cloned.extras["hot_range_holders"] >= 2
+
+    def test_cloning_fires_only_in_clone_mode(self, comparison):
+        uncloned, cloned = comparison
+        assert uncloned.extras["cloned_reads"] == 0
+        assert cloned.extras["cloned_reads"] > 0
+
+    def test_cloning_beats_the_straggler_tail(self, comparison):
+        uncloned, cloned = comparison
+        assert cloned.latency_p99_us < uncloned.latency_p99_us
+
+    def test_fingerprint_parity(self, comparison):
+        # Request cloning changes *when* answers arrive, never what
+        # gets committed: both variants replay the same arrival stream
+        # and must drain to bit-identical primary state.
+        uncloned, cloned = comparison
+        assert (
+            uncloned.extras["fingerprint"] == cloned.extras["fingerprint"]
+        )
+
+    def test_routing_stream_parity(self, comparison):
+        # Identical arrival stream + identical install plans must give
+        # identical replica-read routing (the load-balanced winner
+        # choice is a pure function of both).
+        uncloned, cloned = comparison
+        assert (
+            uncloned.extras["replica_reads"]
+            == cloned.extras["replica_reads"]
+        )
+
+
+class TestPresetWiring:
+    def test_preset_exists(self):
+        spec = PRESETS["straggler_clone"]()
+        assert spec.kind == "straggler_clone"
+        assert set(spec.strategies) == {"hermes-replica", "hermes-clone"}
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(TypeError, match="straggler_clone"):
+            run_experiment(make_spec(params={"bogus": 1}))
